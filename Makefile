@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures figures-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/figures -out results
+
+figures-quick:
+	$(GO) run ./cmd/figures -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/worksteal
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/termination
+	$(GO) run ./examples/transpose
+
+.PHONY: outputs
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,318 @@
+// Benchmarks regenerating the paper's figures at test scale. Each bench
+// runs the corresponding workload once per iteration and reports the
+// simulated makespan as "vsec/op" next to the usual wall-clock ns/op:
+// the virtual metric is the one that mirrors the paper's y-axes.
+//
+// Full-scale sweeps (up to the paper's 32K images) live in the cmd/
+// drivers; these benches keep the whole suite minutes-fast.
+package caf_test
+
+import (
+	"testing"
+
+	caf "caf2go"
+	"caf2go/internal/bench"
+	"caf2go/internal/ra"
+	"caf2go/internal/uts"
+)
+
+func reportVirtual(b *testing.B, total caf.Time) {
+	b.Helper()
+	b.ReportMetric(total.Seconds()/float64(b.N), "vsec/op")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 12 — cofence micro-benchmark (producer/consumer).
+// ---------------------------------------------------------------------
+
+func benchFig12(b *testing.B, variant string) {
+	o := bench.Fig12Opts{Cores: []int{64}, Iters: 100, Fan: 5, Bytes: 80, Seed: 1}
+	var total caf.Time
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig12(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, ok := fig.Lookup(variant)
+		if !ok {
+			b.Fatalf("series %q missing", variant)
+		}
+		total += caf.Time(s.Y[0] * float64(caf.Second))
+	}
+	reportVirtual(b, total)
+}
+
+func BenchmarkFig12Cofence(b *testing.B) { benchFig12(b, "copy_async w/ cofence") }
+func BenchmarkFig12Events(b *testing.B)  { benchFig12(b, "copy_async w/ events") }
+func BenchmarkFig12Finish(b *testing.B)  { benchFig12(b, "copy_async w/ finish") }
+
+// ---------------------------------------------------------------------
+// Figs. 13/14 — RandomAccess.
+// ---------------------------------------------------------------------
+
+func benchRA(b *testing.B, cfg ra.Config, images int) {
+	var total caf.Time
+	for i := 0; i < b.N; i++ {
+		res, err := ra.Run(caf.Config{Images: images, Seed: 1}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Time
+	}
+	reportVirtual(b, total)
+}
+
+func BenchmarkFig13GetUpdatePut(b *testing.B) {
+	cfg := ra.DefaultConfig(ra.GetUpdatePut)
+	cfg.LocalTableBits = 7
+	benchRA(b, cfg, 16)
+}
+
+func BenchmarkFig13FunctionShipping(b *testing.B) {
+	cfg := ra.DefaultConfig(ra.FunctionShipping)
+	cfg.LocalTableBits = 7
+	cfg.BunchSize = 128
+	benchRA(b, cfg, 16)
+}
+
+func BenchmarkFig14Bunch16(b *testing.B) {
+	cfg := ra.DefaultConfig(ra.FunctionShipping)
+	cfg.LocalTableBits = 7
+	cfg.BunchSize = 16
+	benchRA(b, cfg, 16)
+}
+
+func BenchmarkFig14Bunch256(b *testing.B) {
+	cfg := ra.DefaultConfig(ra.FunctionShipping)
+	cfg.LocalTableBits = 7
+	cfg.BunchSize = 256
+	benchRA(b, cfg, 16)
+}
+
+// ---------------------------------------------------------------------
+// Figs. 16/17/18 — UTS.
+// ---------------------------------------------------------------------
+
+func benchUTS(b *testing.B, mcfg caf.Config, cfg uts.Config) uts.Result {
+	var total caf.Time
+	var last uts.Result
+	for i := 0; i < b.N; i++ {
+		res, err := uts.Run(mcfg, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Time
+		last = res
+	}
+	reportVirtual(b, total)
+	return last
+}
+
+func BenchmarkFig16LoadBalance(b *testing.B) {
+	benchUTS(b, caf.Config{Images: 32, Seed: 1}, uts.DefaultConfig(uts.Scaled(8)))
+}
+
+func BenchmarkFig17Efficiency(b *testing.B) {
+	spec := uts.Scaled(8)
+	cfg := uts.DefaultConfig(spec)
+	seq := uts.CountSequential(spec)
+	res := benchUTS(b, caf.Config{Images: 16, Seed: 1}, cfg)
+	t1 := caf.Time(seq.Nodes) * cfg.WorkPerNode
+	b.ReportMetric(float64(t1)/(16*float64(res.Time)), "efficiency")
+}
+
+func BenchmarkFig18OurAlgorithm(b *testing.B) {
+	res := benchUTS(b, caf.Config{Images: 32, Seed: 1}, uts.DefaultConfig(uts.Scaled(7)))
+	b.ReportMetric(float64(res.Rounds), "rounds")
+}
+
+func BenchmarkFig18NoUpperBound(b *testing.B) {
+	res := benchUTS(b, caf.Config{Images: 32, Seed: 1, FinishNoWait: true}, uts.DefaultConfig(uts.Scaled(7)))
+	b.ReportMetric(float64(res.Rounds), "rounds")
+}
+
+// ---------------------------------------------------------------------
+// Figs. 2/3 — steal protocols.
+// ---------------------------------------------------------------------
+
+func benchSteal(b *testing.B, series string) {
+	o := bench.StealOpts{Steals: 30, ItemsSwept: []int{4}, Seed: 1}
+	var total caf.Time
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.StealRoundTrips(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, ok := fig.Lookup(series)
+		if !ok {
+			b.Fatalf("series %q missing", series)
+		}
+		total += caf.Time(s.Y[0] * float64(caf.Second))
+	}
+	reportVirtual(b, total)
+}
+
+func BenchmarkStealGetPutLock(b *testing.B) {
+	benchSteal(b, "get/put/lock (Fig. 2, 5 round trips)")
+}
+
+func BenchmarkStealFunctionShipping(b *testing.B) {
+	benchSteal(b, "function shipping (Fig. 3, 2 spawns)")
+}
+
+// ---------------------------------------------------------------------
+// Runtime micro-benchmarks (ablation targets from DESIGN.md §6).
+// ---------------------------------------------------------------------
+
+func BenchmarkFinishEmpty(b *testing.B) {
+	// Cost of one empty finish (pure termination-detection overhead).
+	iters := b.N
+	rep, err := caf.Run(caf.Config{Images: 32, Seed: 1}, func(img *caf.Image) {
+		for i := 0; i < iters; i++ {
+			img.Finish(nil, func() {})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportVirtual(b, rep.VirtualTime)
+}
+
+func BenchmarkSpawnThroughput(b *testing.B) {
+	iters := b.N
+	rep, err := caf.Run(caf.Config{Images: 8, Seed: 1}, func(img *caf.Image) {
+		img.Finish(nil, func() {
+			if img.Rank() != 0 {
+				return
+			}
+			for i := 0; i < iters; i++ {
+				img.Spawn(1+i%7, func(r *caf.Image) {})
+			}
+		})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportVirtual(b, rep.VirtualTime)
+}
+
+func BenchmarkCopyAsyncThroughput(b *testing.B) {
+	iters := b.N
+	rep, err := caf.Run(caf.Config{Images: 2, Seed: 1}, func(img *caf.Image) {
+		ca := caf.NewCoarray[byte](img, nil, 256)
+		if img.Rank() != 0 {
+			return
+		}
+		src := make([]byte, 80)
+		for i := 0; i < iters; i++ {
+			caf.CopyAsync(img, ca.Sec(1, 0, 80), caf.Local(src))
+			if i%64 == 63 {
+				img.Cofence(caf.AllowNone, caf.AllowNone)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportVirtual(b, rep.VirtualTime)
+}
+
+func BenchmarkBarrier64(b *testing.B) {
+	iters := b.N
+	rep, err := caf.Run(caf.Config{Images: 64, Seed: 1}, func(img *caf.Image) {
+		for i := 0; i < iters; i++ {
+			img.Barrier(nil)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportVirtual(b, rep.VirtualTime)
+}
+
+func BenchmarkAllreduce64(b *testing.B) {
+	iters := b.N
+	rep, err := caf.Run(caf.Config{Images: 64, Seed: 1}, func(img *caf.Image) {
+		vec := []int64{int64(img.Rank())}
+		for i := 0; i < iters; i++ {
+			img.Allreduce(nil, caf.Sum, vec)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportVirtual(b, rep.VirtualTime)
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §6).
+// ---------------------------------------------------------------------
+
+// Binomial vs flat collective trees: the O(log p) vs O(p) critical path
+// underlying the finish cost analysis.
+func benchTreeShape(b *testing.B, flat bool) {
+	iters := b.N
+	rep, err := caf.Run(caf.Config{Images: 128, Seed: 1, FlatCollectives: flat}, func(img *caf.Image) {
+		for i := 0; i < iters; i++ {
+			img.Finish(nil, func() {
+				if img.Rank() == 0 {
+					img.Spawn(1, func(r *caf.Image) {})
+				}
+			})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportVirtual(b, rep.VirtualTime)
+}
+
+func BenchmarkAblationBinomialTree(b *testing.B) { benchTreeShape(b, false) }
+func BenchmarkAblationFlatTree(b *testing.B)     { benchTreeShape(b, true) }
+
+// Eager vs relaxed (deferred) initiation of implicit operations.
+func benchInitiation(b *testing.B, relaxed bool) {
+	iters := b.N
+	rep, err := caf.Run(caf.Config{Images: 4, Seed: 1, Relaxed: relaxed}, func(img *caf.Image) {
+		ca := caf.NewCoarray[int64](img, nil, 64)
+		if img.Rank() != 0 {
+			return
+		}
+		src := make([]int64, 16)
+		for i := 0; i < iters; i++ {
+			for d := 1; d < 4; d++ {
+				caf.CopyAsync(img, ca.Sec(d, 0, 16), caf.Local(src))
+			}
+			img.Cofence(caf.AllowNone, caf.AllowNone)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportVirtual(b, rep.VirtualTime)
+}
+
+func BenchmarkAblationEagerInitiation(b *testing.B)   { benchInitiation(b, false) }
+func BenchmarkAblationRelaxedInitiation(b *testing.B) { benchInitiation(b, true) }
+
+// UTS lifelines on vs off (paper §IV-C2: the hybrid scheme's value).
+func benchLifelines(b *testing.B, lifelines bool) {
+	cfg := uts.DefaultConfig(uts.Scaled(8))
+	cfg.Lifelines = lifelines
+	res := benchUTS(b, caf.Config{Images: 32, Seed: 1}, cfg)
+	mean := float64(res.TotalNodes) / 32
+	worst := 0.0
+	for _, c := range res.PerImage {
+		dev := float64(c)/mean - 1
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+	}
+	b.ReportMetric(worst, "max-imbalance")
+}
+
+func BenchmarkAblationLifelinesOn(b *testing.B)  { benchLifelines(b, true) }
+func BenchmarkAblationLifelinesOff(b *testing.B) { benchLifelines(b, false) }

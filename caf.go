@@ -1,0 +1,359 @@
+// Package caf is a Go reproduction of the Coarray Fortran 2.0 (CAF 2.0)
+// runtime described in "Managing Asynchronous Operations in Coarray
+// Fortran 2.0" (Yang, Murthy, Mellor-Crummey; IPDPS 2013).
+//
+// A caf program is SPMD: Run launches the same function on every process
+// image of a simulated distributed-memory machine (goroutines multiplexed
+// over a deterministic virtual clock, internal/sim) connected by a modeled
+// network fabric (internal/fabric). The Image handle passed to each copy
+// exposes the language-level constructs:
+//
+//   - Coarrays (NewCoarray) — shared distributed data.
+//   - CopyAsync — one-sided predicated asynchronous copies (§II-C1).
+//   - Spawn — function shipping (§II-C2).
+//   - BroadcastAsync, ReduceAsync, … — asynchronous collectives (§II-C3).
+//   - Events — explicit completion: notify (release) / wait (acquire).
+//   - Finish — global completion of implicitly-synchronized asynchronous
+//     operations via the epoch-based SPMD termination detector (§III-A).
+//   - Cofence — local data completion with directional READ/WRITE/ANY
+//     filtering (§III-B).
+//
+// Times reported by the machine are virtual (simulated) seconds; the cost
+// model is configured through Config.Fabric.
+package caf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"caf2go/internal/collect"
+	"caf2go/internal/core"
+	"caf2go/internal/fabric"
+	"caf2go/internal/rt"
+	"caf2go/internal/sim"
+	"caf2go/internal/team"
+	"caf2go/internal/trace"
+)
+
+// Time re-exports the virtual time type for callers of the public API.
+type Time = sim.Time
+
+// Virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// FabricConfig re-exports the network cost model configuration.
+type FabricConfig = fabric.Config
+
+// DefaultFabric returns the default network cost model (Gemini-like:
+// 1.5us latency, ~1GB/s injection, 64 credits, FIFO delivery).
+func DefaultFabric() FabricConfig { return fabric.DefaultConfig() }
+
+// Config describes the simulated machine a program runs on.
+type Config struct {
+	// Images is the number of process images (required, ≥ 1).
+	Images int
+	// Seed drives all simulation randomness; equal seeds reproduce runs
+	// bit-for-bit.
+	Seed int64
+	// Fabric is the network cost model; the zero value means
+	// DefaultFabric().
+	Fabric FabricConfig
+	// Relaxed enables the relaxed-memory-model initiation buffer:
+	// implicitly-synchronized asynchronous operations may defer their
+	// actual initiation until a synchronization point (cofence, event,
+	// finish) demands them.
+	Relaxed bool
+	// MaxDelayed caps the relaxed-mode initiation buffer (default 8).
+	MaxDelayed int
+	// FinishNoWait selects the speculative termination-detection variant
+	// without the Fig. 7 wait-until precondition (the Fig. 18 baseline).
+	FinishNoWait bool
+	// TraceCapacity, when positive, enables execution tracing with the
+	// given event capacity; export via Machine.Trace().
+	TraceCapacity int
+	// FlatCollectives replaces the binomial collective trees with a
+	// centralized star — the O(p)-critical-path ablation baseline for
+	// the finish cost analysis.
+	FlatCollectives bool
+	// DetectConflicts tracks coarray ranges touched by in-flight
+	// one-sided operations and counts overlapping concurrent accesses
+	// with a writer — the races of the reference RandomAccess (§IV-B).
+	// Inspect with Machine.Conflicts / ConflictLog.
+	DetectConflicts bool
+}
+
+// Machine is a configured simulated cluster. Most programs use Run; the
+// benchmark harness builds a Machine directly to inspect stats.
+type Machine struct {
+	cfg       Config
+	eng       *sim.Engine
+	k         *rt.Kernel
+	comm      *collect.Comm
+	plane     *core.Plane
+	world     *team.Team
+	states    []*imageState
+	tracer    *trace.Recorder
+	registry  *fnRegistry
+	conflicts *conflictState
+
+	coarrays  map[carrKey]*carrSlot
+	nextSplit int64
+}
+
+// imageState is per-image state shared by every proc running on that
+// image (the SPMD main and any shipped functions).
+type imageState struct {
+	m      *Machine
+	kern   *rt.ImageKernel
+	events []*eventState
+	locks  map[int]*lockState
+
+	// pendingDeliv tracks outstanding remote updates for EventNotify's
+	// release semantics.
+	pendingDeliv []*delivToken
+
+	// carrSeq matches collective coarray allocations per team.
+	carrSeq map[int64]uint64
+
+	// Per-image counters surfaced in Stats.
+	spawnsSent     int64
+	spawnsExecuted int64
+	copies         int64
+}
+
+// NewMachine builds a machine without starting any program.
+func NewMachine(cfg Config) *Machine {
+	if cfg.Images < 1 {
+		panic("caf: Config.Images must be ≥ 1")
+	}
+	if cfg.Fabric == (fabric.Config{}) {
+		cfg.Fabric = fabric.DefaultConfig()
+	}
+	if cfg.MaxDelayed == 0 {
+		cfg.MaxDelayed = 8
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	k := rt.NewKernel(eng, cfg.Images, cfg.Fabric)
+	tree := collect.Binomial
+	if cfg.FlatCollectives {
+		tree = collect.Flat
+	}
+	m := &Machine{
+		cfg:      cfg,
+		eng:      eng,
+		k:        k,
+		comm:     collect.NewWithTree(k, tree),
+		world:    team.World(cfg.Images),
+		coarrays: make(map[carrKey]*carrSlot),
+	}
+	m.plane = core.NewPlane(k, m.comm, core.Config{WaitQuiescent: !cfg.FinishNoWait})
+	if cfg.TraceCapacity > 0 {
+		m.tracer = trace.NewRecorder(cfg.TraceCapacity)
+	}
+	if cfg.DetectConflicts {
+		m.conflicts = &conflictState{}
+	}
+	m.states = make([]*imageState, cfg.Images)
+	for i := range m.states {
+		m.states[i] = &imageState{
+			m:     m,
+			kern:  k.Image(i),
+			locks: make(map[int]*lockState),
+		}
+	}
+	m.registerHandlers()
+	return m
+}
+
+// Launch starts main as the SPMD program on every image. It returns
+// immediately; call RunToCompletion (or drive the engine yourself) next.
+func (m *Machine) Launch(main func(img *Image)) {
+	for i := 0; i < m.cfg.Images; i++ {
+		st := m.states[i]
+		st.kern.Go("main", func(p *sim.Proc) {
+			img := &Image{m: m, st: st, proc: p, ct: m.newTracker()}
+			main(img)
+			// Program exit is a synchronization point: flush any
+			// deferred initiations so the machine drains.
+			img.ct.Flush()
+		})
+	}
+}
+
+// RunToCompletion drives the simulation until it drains and returns the
+// final report. A deadlock (blocked images with no pending events) is
+// returned as an error.
+func (m *Machine) RunToCompletion() (Report, error) {
+	err := m.eng.Run()
+	return m.report(), err
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	// VirtualTime is the simulated makespan.
+	VirtualTime Time
+	// Msgs and Bytes count all fabric traffic, including runtime-internal
+	// messages (acks are separate).
+	Msgs, Bytes uint64
+	// SpawnsSent / SpawnsExecuted count shipped functions.
+	SpawnsSent, SpawnsExecuted int64
+	// Copies counts asynchronous copy operations initiated.
+	Copies int64
+	// FinishBlocks and ReduceRounds summarize termination detection
+	// (per-image finish entries and total allreduce rounds).
+	FinishBlocks int
+	ReduceRounds int64
+	// EventsRun counts simulator events (a cost/complexity proxy).
+	EventsRun uint64
+}
+
+func (m *Machine) report() Report {
+	fs := m.k.Fabric().Stats()
+	ps := m.plane.Stats()
+	r := Report{
+		VirtualTime:  m.eng.Now(),
+		Msgs:         fs.MsgsSent,
+		Bytes:        fs.BytesSent,
+		FinishBlocks: ps.Finishes,
+		ReduceRounds: ps.ReduceRounds,
+		EventsRun:    m.eng.EventsRun(),
+	}
+	for _, st := range m.states {
+		r.SpawnsSent += st.spawnsSent
+		r.SpawnsExecuted += st.spawnsExecuted
+		r.Copies += st.copies
+	}
+	return r
+}
+
+// Engine exposes the simulation engine (benchmark harness use).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// FinishRoundTimes returns the virtual times at which each termination-
+// detection round of an image's most recent finish completed
+// (diagnostics for the benchmark harness).
+func (m *Machine) FinishRoundTimes(rank int) []Time {
+	s := m.plane.LastState(rank)
+	if s == nil {
+		return nil
+	}
+	return s.RoundAt
+}
+
+// Shutdown aborts all live simulated processes (test cleanup after a
+// deadlock report).
+func (m *Machine) Shutdown() { m.eng.Shutdown() }
+
+// newTracker builds a cofence tracker for one execution context.
+func (m *Machine) newTracker() *core.CofenceTracker {
+	return core.NewCofenceTracker(m.cfg.Relaxed, m.cfg.MaxDelayed)
+}
+
+// Trace returns the execution-trace recorder, or nil when tracing is
+// disabled. Export with WriteChromeTrace / WriteSummary.
+func (m *Machine) Trace() *trace.Recorder { return m.tracer }
+
+// traceSpan records a span attributed to the image's current proc.
+func (img *Image) traceSpan(name, cat string, start Time) {
+	if tr := img.m.tracer; tr.Enabled() {
+		tr.Span(img.Rank(), img.proc.ID(), name, cat, start, img.Now()-start)
+	}
+}
+
+// traceInstant records an instant on the image.
+func (img *Image) traceInstant(name, cat string) {
+	if tr := img.m.tracer; tr.Enabled() {
+		tr.Instant(img.Rank(), name, cat, img.Now())
+	}
+}
+
+// Run builds a machine, runs main on every image, and returns the report.
+func Run(cfg Config, main func(img *Image)) (Report, error) {
+	m := NewMachine(cfg)
+	m.Launch(main)
+	rep, err := m.RunToCompletion()
+	if err != nil {
+		m.Shutdown()
+	}
+	return rep, err
+}
+
+// ---------------------------------------------------------------------
+// Image
+// ---------------------------------------------------------------------
+
+// Image is one process image's view of the machine, bound to one
+// simulated process: the SPMD main gets one, and every shipped function
+// executing remotely gets its own (sharing the per-image state).
+type Image struct {
+	m    *Machine
+	st   *imageState
+	proc *sim.Proc
+
+	// ct tracks the implicitly-synchronized operations initiated by THIS
+	// execution context. A cofence inside a shipped function captures
+	// only operations launched by that function (dynamic scoping,
+	// paper Fig. 10), so every proc carries its own tracker.
+	ct *core.CofenceTracker
+
+	// finishStack holds the dynamically enclosing finish blocks opened
+	// by this proc; shipped functions instead inherit the spawning
+	// operation's finish through inheritedFinish (dynamic scoping,
+	// §III-B3).
+	finishStack     []*core.State
+	inheritedFinish int64 // 0 = none
+
+	// payload carries the copied argument bytes of the spawn that
+	// started this proc.
+	payload *payloadCarrier
+}
+
+// Rank returns the image's world rank (0-based).
+func (img *Image) Rank() int { return img.st.kern.Rank() }
+
+// NumImages returns the machine size.
+func (img *Image) NumImages() int { return img.m.cfg.Images }
+
+// World returns team_world.
+func (img *Image) World() *Team { return img.m.world }
+
+// Now returns the current virtual time.
+func (img *Image) Now() Time { return img.proc.Now() }
+
+// Compute advances this image's virtual clock by d, modeling local work.
+func (img *Image) Compute(d Time) { img.proc.Sleep(d) }
+
+// Random returns the image's deterministic private random stream.
+func (img *Image) Random() *rand.Rand { return img.st.kern.Rng() }
+
+// Machine returns the machine the image belongs to.
+func (img *Image) Machine() *Machine { return img.m }
+
+// track returns the finish tracking context for implicitly-synchronized
+// operations initiated by this proc, or nil outside any finish.
+func (img *Image) track() any {
+	if n := len(img.finishStack); n > 0 {
+		return img.finishStack[n-1].Ref()
+	}
+	if img.inheritedFinish != 0 {
+		return core.Ref{ID: img.inheritedFinish}
+	}
+	return nil
+}
+
+// trackID returns the innermost finish id for propagation to spawns.
+func (img *Image) trackID() int64 {
+	if n := len(img.finishStack); n > 0 {
+		return img.finishStack[n-1].Ref().ID
+	}
+	return img.inheritedFinish
+}
+
+func (img *Image) String() string {
+	return fmt.Sprintf("image %d/%d", img.Rank(), img.NumImages())
+}

@@ -1,0 +1,42 @@
+// Command cofencebench regenerates the paper's Fig. 12: the
+// producer/consumer micro-benchmark comparing cofence (local data
+// completion), events (local operation completion), and finish (global
+// completion) as synchronization strategies for asynchronous copies.
+//
+// Usage:
+//
+//	cofencebench [-cores 128,256,512,1024] [-iters 500] [-fan 5] [-bytes 80]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"caf2go/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cofencebench: ")
+	o := bench.DefaultFig12()
+	cores := flag.String("cores", "128,256,512,1024", "comma-separated image counts")
+	flag.IntVar(&o.Iters, "iters", o.Iters, "producer iterations (paper: 1e6)")
+	flag.IntVar(&o.Fan, "fan", o.Fan, "copies per iteration (paper: 5)")
+	flag.IntVar(&o.Bytes, "bytes", o.Bytes, "bytes per copy (paper: 80)")
+	flag.Int64Var(&o.Seed, "seed", o.Seed, "simulation seed")
+	flag.Parse()
+
+	var err error
+	o.Cores, err = bench.ParseIntList(*cores)
+	if err != nil {
+		log.Fatalf("-cores: %v", err)
+	}
+	fig, err := bench.Fig12(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig.Render(os.Stdout)
+	fmt.Println()
+}

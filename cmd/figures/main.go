@@ -1,0 +1,86 @@
+// Command figures regenerates every figure of the paper in one pass at
+// simulation scale and writes them to stdout (or -out files, one per
+// figure, gnuplot-ready). See the per-figure commands (cofencebench,
+// randomaccess, uts, stealbench) for full parameter control.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"caf2go/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	outDir := flag.String("out", "", "directory for per-figure .tsv files (default: stdout)")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke pass")
+	flag.Parse()
+
+	type gen struct {
+		name string
+		run  func() (bench.Figure, error)
+	}
+	f12 := bench.DefaultFig12()
+	f13 := bench.DefaultFig13()
+	f14 := bench.DefaultFig14()
+	f16 := bench.DefaultFig16()
+	f17 := bench.DefaultFig17()
+	f18 := bench.DefaultFig18()
+	steal := bench.DefaultSteal()
+	if *quick {
+		f12.Cores = []int{16, 64}
+		f12.Iters = 100
+		f13.Cores = []int{4, 8, 16}
+		f14.Cores = []int{16}
+		f14.BunchSizes = []int{16, 64, 256, 1024}
+		f16.Cores = []int{16, 64}
+		f16.MaxDepth = 8
+		f17.Cores = []int{4, 16, 64}
+		f17.MaxDepth = 8
+		f18.Cores = []int{16, 64}
+		f18.MaxDepth = 7
+		steal.Steals = 20
+	}
+	gens := []gen{
+		{"fig2-3", func() (bench.Figure, error) { return bench.StealRoundTrips(steal) }},
+		{"fig12", func() (bench.Figure, error) { return bench.Fig12(f12) }},
+		{"fig13", func() (bench.Figure, error) { return bench.Fig13(f13) }},
+		{"fig14", func() (bench.Figure, error) { return bench.Fig14(f14) }},
+		{"fig16", func() (bench.Figure, error) { return bench.Fig16(f16) }},
+		{"fig17", func() (bench.Figure, error) { return bench.Fig17(f17) }},
+		{"fig18", func() (bench.Figure, error) { return bench.Fig18(f18) }},
+	}
+
+	for _, g := range gens {
+		start := time.Now()
+		fig, err := g.run()
+		if err != nil {
+			log.Fatalf("%s: %v", g.name, err)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *outDir == "" {
+			fig.Render(os.Stdout)
+			fmt.Printf("# (%s generated in %v wall time)\n\n", g.name, elapsed)
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*outDir, g.name+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig.Render(f)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s -> %s (%v)", g.name, path, elapsed)
+	}
+}

@@ -1,0 +1,32 @@
+// Command stealbench regenerates the paper's Figs. 2/3 motivation: the
+// cost of one work-steal attempt with one-sided get/put/lock (five round
+// trips) versus shipped functions (two spawns).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"caf2go/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stealbench: ")
+	o := bench.DefaultSteal()
+	flag.IntVar(&o.Steals, "steals", o.Steals, "steal attempts to average over")
+	items := flag.String("items", "1,4,8", "items per steal (comma-separated)")
+	flag.Int64Var(&o.Seed, "seed", o.Seed, "simulation seed")
+	flag.Parse()
+	var err error
+	o.ItemsSwept, err = bench.ParseIntList(*items)
+	if err != nil {
+		log.Fatalf("-items: %v", err)
+	}
+	fig, err := bench.StealRoundTrips(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig.Render(os.Stdout)
+}

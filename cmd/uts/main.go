@@ -1,0 +1,126 @@
+// Command uts regenerates the paper's UTS figures and runs one-off
+// Unbalanced Tree Search experiments:
+//
+//	uts -fig 16            # load balance across machine sizes (Fig. 16)
+//	uts -fig 17            # parallel efficiency sweep (Fig. 17)
+//	uts -fig 18            # termination-detection rounds (Fig. 18)
+//	uts -single -images 64 -depth 9 [-nolifelines] [-nowait]
+//
+// Depth defaults to simulation scale; the paper's T1WL tree is -depth 18
+// (≈10^11 nodes — not a laptop workload).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	caf "caf2go"
+	"caf2go/internal/bench"
+	"caf2go/internal/uts"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("uts: ")
+	figNum := flag.Int("fig", 17, "figure to regenerate: 16, 17 or 18")
+	single := flag.Bool("single", false, "run one configuration and print its result")
+	images := flag.Int("images", 64, "single-run image count")
+	depth := flag.Int("depth", 0, "tree depth (0 = figure default; paper T1WL = 18)")
+	cores := flag.String("cores", "", "override core sweep (comma-separated)")
+	noLifelines := flag.Bool("nolifelines", false, "disable lifelines (pure random stealing)")
+	noWait := flag.Bool("nowait", false, "use the unbounded-wave detection variant")
+	perNode := flag.Int("pernode", 1, "images sharing a node NIC (paper ran 8/node)")
+	tracePath := flag.String("trace", "", "write a Chrome trace JSON of a -single run to this file")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *single {
+		runSingle(*images, *depth, *seed, *noLifelines, *noWait, *perNode, *tracePath)
+		return
+	}
+
+	var o bench.UTSOpts
+	switch *figNum {
+	case 16:
+		o = bench.DefaultFig16()
+	case 17:
+		o = bench.DefaultFig17()
+	case 18:
+		o = bench.DefaultFig18()
+	default:
+		log.Fatalf("unknown figure %d (want 16, 17 or 18)", *figNum)
+	}
+	o.Seed = *seed
+	if *depth > 0 {
+		o.MaxDepth = *depth
+	}
+	if *cores != "" {
+		v, err := bench.ParseIntList(*cores)
+		if err != nil {
+			log.Fatalf("-cores: %v", err)
+		}
+		o.Cores = v
+	}
+	var fig bench.Figure
+	var err error
+	switch *figNum {
+	case 16:
+		fig, err = bench.Fig16(o)
+	case 17:
+		fig, err = bench.Fig17(o)
+	case 18:
+		fig, err = bench.Fig18(o)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig.Render(os.Stdout)
+}
+
+func runSingle(images, depth int, seed int64, noLifelines, noWait bool, perNode int, tracePath string) {
+	if depth == 0 {
+		depth = 9
+	}
+	spec := uts.Scaled(depth)
+	seq := uts.CountSequential(spec)
+	cfg := uts.DefaultConfig(spec)
+	cfg.Lifelines = !noLifelines
+	mcfg := caf.Config{Images: images, Seed: seed, FinishNoWait: noWait}
+	if perNode > 1 {
+		fab := caf.DefaultFabric()
+		fab.ImagesPerNode = perNode
+		mcfg.Fabric = fab
+	}
+	if tracePath != "" {
+		mcfg.TraceCapacity = 1 << 22
+	}
+	res, tr, err := uts.RunTraced(mcfg, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tracePath != "" && tr != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", tr.Len(), tracePath)
+	}
+	if res.TotalNodes != seq.Nodes {
+		log.Fatalf("MISCOUNT: parallel %d vs sequential %d", res.TotalNodes, seq.Nodes)
+	}
+	t1 := caf.Time(seq.Nodes) * cfg.WorkPerNode
+	eff := float64(t1) / (float64(images) * float64(res.Time))
+	fmt.Printf("UTS depth=%d: %d nodes on %d images in %v virtual\n", depth, res.TotalNodes, images, res.Time)
+	fmt.Printf("parallel efficiency: %.1f%%  (T1=%v)\n", eff*100, t1)
+	fmt.Printf("steals: %d ok / %d attempts; lifeline pushes: %d\n", res.Steals, res.StealAttempts, res.LifelinePushes)
+	fmt.Printf("termination detection: %d allreduce rounds (noWait=%v)\n", res.Rounds, noWait)
+	fmt.Printf("traffic: %d msgs, %d bytes, %d spawns\n", res.Report.Msgs, res.Report.Bytes, res.Report.SpawnsExecuted)
+}

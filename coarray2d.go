@@ -1,0 +1,83 @@
+package caf
+
+import "fmt"
+
+// Coarray2D is a two-dimensional coarray: every member image owns a
+// rows×cols matrix stored row-major. Rows are contiguous sections and
+// columns are strided sections, so both move through the same one-sided
+// copy engine — the Go spelling of Fortran's A(:, j)[p] and A(i, :)[p].
+type Coarray2D[T any] struct {
+	ca         *Coarray[T]
+	rows, cols int
+}
+
+// NewCoarray2D collectively allocates a rows×cols coarray over team t
+// (nil means team_world). Like NewCoarray, every member must call it and
+// the call synchronizes the team.
+func NewCoarray2D[T any](img *Image, t *Team, rows, cols int) *Coarray2D[T] {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("caf: invalid 2-D coarray shape %dx%d", rows, cols))
+	}
+	return &Coarray2D[T]{ca: NewCoarray[T](img, t, rows*cols), rows: rows, cols: cols}
+}
+
+// Rows returns the number of rows per image.
+func (c *Coarray2D[T]) Rows() int { return c.rows }
+
+// Cols returns the number of columns per image.
+func (c *Coarray2D[T]) Cols() int { return c.cols }
+
+// Team returns the allocating team.
+func (c *Coarray2D[T]) Team() *Team { return c.ca.Team() }
+
+// Flat returns the underlying 1-D coarray (row-major).
+func (c *Coarray2D[T]) Flat() *Coarray[T] { return c.ca }
+
+// Local returns the calling image's matrix as a row-major slice.
+func (c *Coarray2D[T]) Local(img *Image) []T { return c.ca.Local(img) }
+
+// At returns a pointer to element (r, col) of the local matrix.
+func (c *Coarray2D[T]) At(img *Image, r, col int) *T {
+	c.check(r, col)
+	return &c.ca.Local(img)[r*c.cols+col]
+}
+
+func (c *Coarray2D[T]) check(r, col int) {
+	if r < 0 || r >= c.rows || col < 0 || col >= c.cols {
+		panic(fmt.Sprintf("caf: index (%d,%d) out of %dx%d coarray", r, col, c.rows, c.cols))
+	}
+}
+
+// Row returns row r on the image with the given world rank as a
+// contiguous section.
+func (c *Coarray2D[T]) Row(rank, r int) Sec[T] {
+	c.check(r, 0)
+	return c.ca.Sec(rank, r*c.cols, (r+1)*c.cols)
+}
+
+// RowSeg returns the [c0, c1) segment of row r on an image.
+func (c *Coarray2D[T]) RowSeg(rank, r, c0, c1 int) Sec[T] {
+	c.check(r, 0)
+	if c0 < 0 || c1 > c.cols || c0 > c1 {
+		panic(fmt.Sprintf("caf: row segment [%d,%d) out of %d columns", c0, c1, c.cols))
+	}
+	return c.ca.Sec(rank, r*c.cols+c0, r*c.cols+c1)
+}
+
+// Col returns column col on an image as a strided section.
+func (c *Coarray2D[T]) Col(rank, col int) Sec[T] {
+	c.check(0, col)
+	return c.ca.SecStride(rank, col, (c.rows-1)*c.cols+col+1, c.cols)
+}
+
+// ColSeg returns rows [r0, r1) of column col on an image.
+func (c *Coarray2D[T]) ColSeg(rank, col, r0, r1 int) Sec[T] {
+	c.check(0, col)
+	if r0 < 0 || r1 > c.rows || r0 > r1 {
+		panic(fmt.Sprintf("caf: column segment [%d,%d) out of %d rows", r0, r1, c.rows))
+	}
+	if r0 == r1 {
+		return c.ca.SecStride(rank, r0*c.cols+col, r0*c.cols+col, c.cols)
+	}
+	return c.ca.SecStride(rank, r0*c.cols+col, (r1-1)*c.cols+col+1, c.cols)
+}

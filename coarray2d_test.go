@@ -1,0 +1,179 @@
+package caf_test
+
+import (
+	"strings"
+	"testing"
+
+	caf "caf2go"
+)
+
+func TestStridedSectionGatherScatter(t *testing.T) {
+	run(t, 2, func(img *caf.Image) {
+		ca := caf.NewCoarray[int64](img, nil, 12)
+		local := ca.Local(img)
+		for i := range local {
+			local[i] = int64(img.Rank()*100 + i)
+		}
+		img.Barrier(nil)
+		if img.Rank() != 0 {
+			return
+		}
+		// Gather every third element of image 1's shard: 100, 103, 106, 109.
+		sec := ca.SecStride(1, 0, 12, 3)
+		if sec.Len() != 4 {
+			t.Fatalf("strided len = %d, want 4", sec.Len())
+		}
+		got := caf.Get(img, sec)
+		want := []int64{100, 103, 106, 109}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("strided get = %v, want %v", got, want)
+			}
+		}
+		// Scatter into odd positions of image 1's shard.
+		caf.Put(img, ca.SecStride(1, 1, 12, 2), []int64{-1, -2, -3, -4, -5, -6})
+		check := caf.Get(img, ca.At(1))
+		for i, v := range check {
+			if i%2 == 1 {
+				if v != int64(-(i/2)-1) {
+					t.Fatalf("scatter wrong at %d: %v", i, check)
+				}
+			} else if v != int64(100+i) {
+				t.Fatalf("scatter clobbered even slot %d: %v", i, check)
+			}
+		}
+	})
+}
+
+func TestStridedCopyAsync(t *testing.T) {
+	run(t, 2, func(img *caf.Image) {
+		ca := caf.NewCoarray[int32](img, nil, 10)
+		if img.Rank() == 0 {
+			src := []int32{7, 8, 9, 10, 11}
+			// Write into every second slot of image 1.
+			caf.CopyAsync(img, ca.SecStride(1, 0, 10, 2), caf.Local(src))
+			img.Cofence(caf.AllowNone, caf.AllowNone)
+		}
+		img.Barrier(nil)
+		if img.Rank() == 1 {
+			local := ca.Local(img)
+			for i := 0; i < 5; i++ {
+				if local[2*i] != int32(7+i) {
+					t.Errorf("slot %d = %d", 2*i, local[2*i])
+				}
+				if local[2*i+1] != 0 {
+					t.Errorf("odd slot %d clobbered: %d", 2*i+1, local[2*i+1])
+				}
+			}
+		}
+	})
+}
+
+func TestStridedValidation(t *testing.T) {
+	run(t, 1, func(img *caf.Image) {
+		ca := caf.NewCoarray[int64](img, nil, 8)
+		expectPanic(t, "stride", func() { ca.SecStride(0, 0, 8, 0) })
+		expectPanic(t, "stride", func() { ca.SecStride(0, 0, 8, -2) })
+	})
+}
+
+func TestCoarray2DRowColAddressing(t *testing.T) {
+	run(t, 2, func(img *caf.Image) {
+		const rows, cols = 4, 5
+		m := caf.NewCoarray2D[int64](img, nil, rows, cols)
+		if m.Rows() != rows || m.Cols() != cols {
+			t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				*m.At(img, r, c) = int64(img.Rank()*1000 + r*10 + c)
+			}
+		}
+		img.Barrier(nil)
+		if img.Rank() != 0 {
+			return
+		}
+		// Row fetch from image 1.
+		row2 := caf.Get(img, m.Row(1, 2))
+		for c, v := range row2 {
+			if v != int64(1000+20+c) {
+				t.Fatalf("row = %v", row2)
+			}
+		}
+		// Column fetch (strided) from image 1.
+		col3 := caf.Get(img, m.Col(1, 3))
+		if len(col3) != rows {
+			t.Fatalf("col len = %d", len(col3))
+		}
+		for r, v := range col3 {
+			if v != int64(1000+r*10+3) {
+				t.Fatalf("col = %v", col3)
+			}
+		}
+		// Segments.
+		seg := caf.Get(img, m.RowSeg(1, 1, 2, 4))
+		if len(seg) != 2 || seg[0] != 1012 || seg[1] != 1013 {
+			t.Fatalf("row seg = %v", seg)
+		}
+		cseg := caf.Get(img, m.ColSeg(1, 0, 1, 3))
+		if len(cseg) != 2 || cseg[0] != 1010 || cseg[1] != 1020 {
+			t.Fatalf("col seg = %v", cseg)
+		}
+	})
+}
+
+func TestCoarray2DTransposeViaColumnCopies(t *testing.T) {
+	// A distributed transpose: image 0 holds M, image 1 receives Mᵀ by
+	// copying each of image 0's rows into one of its columns — rows are
+	// contiguous, columns strided, all through copy_async.
+	run(t, 2, func(img *caf.Image) {
+		const n = 6
+		a := caf.NewCoarray2D[int64](img, nil, n, n)
+		bT := caf.NewCoarray2D[int64](img, nil, n, n)
+		if img.Rank() == 0 {
+			for r := 0; r < n; r++ {
+				for c := 0; c < n; c++ {
+					*a.At(img, r, c) = int64(r*n + c)
+				}
+			}
+		}
+		img.Barrier(nil)
+		if img.Rank() == 0 {
+			img.Finish(nil, func() {
+				for r := 0; r < n; r++ {
+					caf.CopyAsync(img, bT.Col(1, r), a.Row(0, r))
+				}
+			})
+		} else {
+			img.Finish(nil, func() {})
+		}
+		img.Barrier(nil)
+		if img.Rank() == 1 {
+			for r := 0; r < n; r++ {
+				for c := 0; c < n; c++ {
+					if got := *bT.At(img, r, c); got != int64(c*n+r) {
+						t.Fatalf("transpose wrong at (%d,%d): %d", r, c, got)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestCoarray2DBoundsPanics(t *testing.T) {
+	run(t, 1, func(img *caf.Image) {
+		m := caf.NewCoarray2D[int64](img, nil, 3, 4)
+		expectPanic(t, "out of", func() { m.Row(0, 3) })
+		expectPanic(t, "out of", func() { m.Col(0, 4) })
+		expectPanic(t, "out of", func() { m.At(img, -1, 0) })
+		expectPanic(t, "row segment", func() { m.RowSeg(0, 0, 2, 7) })
+		expectPanic(t, "column segment", func() { m.ColSeg(0, 0, 2, 9) })
+	})
+	// A panic inside an image's proc surfaces as a run error.
+	_, err := caf.Run(caf.Config{Images: 1, Seed: 1}, func(img *caf.Image) {
+		caf.NewCoarray2D[int64](img, nil, 0, 5)
+	})
+	if err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Errorf("zero-shape allocation error = %v", err)
+	}
+}

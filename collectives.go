@@ -1,0 +1,327 @@
+package caf
+
+import (
+	"caf2go/internal/collect"
+	"caf2go/internal/core"
+	"caf2go/internal/team"
+)
+
+// ReduceOp re-exports the reduction operator type.
+type ReduceOp = collect.Op
+
+// Reduction operators.
+const (
+	Sum  = collect.Sum
+	Prod = collect.Prod
+	Min  = collect.Min
+	Max  = collect.Max
+	BAnd = collect.BAnd
+	BOr  = collect.BOr
+	BXor = collect.BXor
+)
+
+// Collective is the handle of one asynchronous collective on one image.
+type Collective struct {
+	img *Image
+	h   *collect.Handle
+}
+
+// CollOpt configures an asynchronous collective.
+type CollOpt func(*collOpts)
+
+type collOpts struct {
+	dataE *Event // srcE in the paper's signature: local data completion
+	opE   *Event // localE: local operation completion
+}
+
+// DataEvent requests notification of e at local data completion (the
+// srcE parameter of team_broadcast_async, §II-C3). Supplying any event
+// makes the collective explicitly synchronized (invisible to cofence and
+// finish).
+func DataEvent(e *Event) CollOpt { return func(o *collOpts) { o.dataE = e } }
+
+// OpEvent requests notification of e at local operation completion (the
+// localE parameter of team_broadcast_async).
+func OpEvent(e *Event) CollOpt { return func(o *collOpts) { o.opE = e } }
+
+// WaitLocalData blocks until the image's buffers are usable: inputs may
+// be overwritten, outputs read (Fig. 4).
+func (c *Collective) WaitLocalData() { c.h.WaitLocalData(c.img.proc) }
+
+// WaitLocalOp blocks until all pair-wise communication involving this
+// image is complete.
+func (c *Collective) WaitLocalOp() { c.h.WaitLocalOp(c.img.proc) }
+
+// LocalDataDone reports local data completion without blocking.
+func (c *Collective) LocalDataDone() bool { return c.h.LocalDataDone() }
+
+// LocalOpDone reports local operation completion without blocking.
+func (c *Collective) LocalOpDone() bool { return c.h.LocalOpDone() }
+
+// Result returns the operation's local result (see the individual
+// constructors); valid once LocalDataDone.
+func (c *Collective) Result() any { return c.h.Result() }
+
+// wrap finishes constructing an async collective handle: event
+// notifications for explicit completion, cofence registration otherwise.
+func (img *Image) wrap(h *collect.Handle, class core.OpClass, o collOpts) *Collective {
+	implicit := o.dataE == nil && o.opE == nil
+	if implicit {
+		if class != 0 {
+			op := img.ct.Register(class, func() {})
+			h.OnLocalData(op.CompleteLocalData)
+		}
+	} else {
+		me := img.Rank()
+		if e := o.dataE; e != nil {
+			h.OnLocalData(func() { img.m.notifyFrom(me, e) })
+		}
+		if e := o.opE; e != nil {
+			h.OnLocalOp(func() { img.m.notifyFrom(me, e) })
+		}
+	}
+	return &Collective{img: img, h: h}
+}
+
+// track context for a collective: implicit collectives are covered by
+// the enclosing finish, whose team must contain the collective's team
+// (§III-A1).
+func (img *Image) collTrack(t *Team, implicit bool) any {
+	if !implicit {
+		return nil
+	}
+	if n := len(img.finishStack); n > 0 {
+		if !t.SubsetOf(img.finishTeam()) {
+			panic("caf: asynchronous collective's team must be a subset of the enclosing finish's team")
+		}
+	}
+	return img.track()
+}
+
+// finishTeam returns the innermost finish block's team.
+func (img *Image) finishTeam() *Team {
+	return img.finishStack[len(img.finishStack)-1].Team()
+}
+
+func (img *Image) resolveTeam(t *Team) *Team {
+	if t == nil {
+		return img.m.world
+	}
+	return t
+}
+
+// BarrierAsync begins a split-phase barrier over t.
+func (img *Image) BarrierAsync(t *Team, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	h := img.m.comm.BarrierAsync(img.st.kern, t, img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, 0, o)
+}
+
+// BroadcastAsync begins an asynchronous broadcast of val (bytes wide)
+// from team rank root; Result returns the received value everywhere.
+func (img *Image) BroadcastAsync(t *Team, root int, val any, bytes int, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	class := core.OpWrites
+	if t.MustRank(img.Rank()) == root {
+		class = core.OpReads
+	}
+	h := img.m.comm.BroadcastAsync(img.st.kern, t, root, val, bytes,
+		img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, class, o)
+}
+
+// ReduceAsync begins an asynchronous reduction of vec to team rank root.
+func (img *Image) ReduceAsync(t *Team, root int, op ReduceOp, vec []int64, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	class := core.OpReads
+	if t.MustRank(img.Rank()) == root {
+		class |= core.OpWrites
+	}
+	h := img.m.comm.ReduceAsync(img.st.kern, t, root, op, vec,
+		img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, class, o)
+}
+
+// AllreduceAsync begins an asynchronous all-reduce of vec.
+func (img *Image) AllreduceAsync(t *Team, op ReduceOp, vec []int64, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	h := img.m.comm.AllreduceAsync(img.st.kern, t, op, vec,
+		img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, core.OpReads|core.OpWrites, o)
+}
+
+// GatherAsync begins an asynchronous gather of val (bytes wide) to root.
+func (img *Image) GatherAsync(t *Team, root int, val any, bytes int, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	class := core.OpReads
+	if t.MustRank(img.Rank()) == root {
+		class |= core.OpWrites
+	}
+	h := img.m.comm.GatherAsync(img.st.kern, t, root, val, bytes,
+		img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, class, o)
+}
+
+// ScatterAsync begins an asynchronous scatter of vals (one per team rank,
+// significant at the root).
+func (img *Image) ScatterAsync(t *Team, root int, vals []any, bytes int, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	class := core.OpWrites
+	if t.MustRank(img.Rank()) == root {
+		class = core.OpReads
+	}
+	h := img.m.comm.ScatterAsync(img.st.kern, t, root, vals, bytes,
+		img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, class, o)
+}
+
+// AlltoallAsync begins an asynchronous all-to-all of vals (one per rank).
+func (img *Image) AlltoallAsync(t *Team, vals []any, bytes int, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	h := img.m.comm.AlltoallAsync(img.st.kern, t, vals, bytes,
+		img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, core.OpReads|core.OpWrites, o)
+}
+
+// ScanAsync begins an asynchronous inclusive prefix reduction in
+// team-rank order.
+func (img *Image) ScanAsync(t *Team, op ReduceOp, vec []int64, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	h := img.m.comm.ScanAsync(img.st.kern, t, op, vec,
+		img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, core.OpReads|core.OpWrites, o)
+}
+
+// SortAsync begins an asynchronous global sort of keys (each image keeps
+// its original count; team-rank order yields the sorted sequence).
+func (img *Image) SortAsync(t *Team, keys []int64, opts ...CollOpt) *Collective {
+	t = img.resolveTeam(t)
+	var o collOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	h := img.m.comm.SortAsync(img.st.kern, t, keys,
+		img.collTrack(t, o.dataE == nil && o.opE == nil))
+	return img.wrap(h, core.OpReads|core.OpWrites, o)
+}
+
+// ---------------------------------------------------------------------
+// Synchronous conveniences (block until local data completion).
+// ---------------------------------------------------------------------
+
+// Barrier blocks until every member of t entered the barrier. It
+// replaces Fortran 2008's SYNC ALL (§V).
+func (img *Image) Barrier(t *Team) {
+	t = img.resolveTeam(t)
+	img.m.comm.Barrier(img.proc, img.st.kern, t)
+}
+
+// Broadcast distributes val (bytes wide) from team rank root.
+func (img *Image) Broadcast(t *Team, root int, val any, bytes int) any {
+	t = img.resolveTeam(t)
+	return img.m.comm.Broadcast(img.proc, img.st.kern, t, root, val, bytes)
+}
+
+// Reduce folds vec to the root (result nil elsewhere).
+func (img *Image) Reduce(t *Team, root int, op ReduceOp, vec []int64) []int64 {
+	t = img.resolveTeam(t)
+	return img.m.comm.Reduce(img.proc, img.st.kern, t, root, op, vec)
+}
+
+// Allreduce folds vec across t, returning the result everywhere.
+func (img *Image) Allreduce(t *Team, op ReduceOp, vec []int64) []int64 {
+	t = img.resolveTeam(t)
+	return img.m.comm.Allreduce(img.proc, img.st.kern, t, op, vec)
+}
+
+// Gather collects each member's val at the root.
+func (img *Image) Gather(t *Team, root int, val any, bytes int) []any {
+	t = img.resolveTeam(t)
+	return img.m.comm.Gather(img.proc, img.st.kern, t, root, val, bytes)
+}
+
+// Scatter distributes vals (one per team rank) from the root.
+func (img *Image) Scatter(t *Team, root int, vals []any, bytes int) any {
+	t = img.resolveTeam(t)
+	return img.m.comm.Scatter(img.proc, img.st.kern, t, root, vals, bytes)
+}
+
+// Alltoall exchanges vals pairwise.
+func (img *Image) Alltoall(t *Team, vals []any, bytes int) []any {
+	t = img.resolveTeam(t)
+	return img.m.comm.Alltoall(img.proc, img.st.kern, t, vals, bytes)
+}
+
+// Scan returns the inclusive prefix reduction in team-rank order.
+func (img *Image) Scan(t *Team, op ReduceOp, vec []int64) []int64 {
+	t = img.resolveTeam(t)
+	return img.m.comm.Scan(img.proc, img.st.kern, t, op, vec)
+}
+
+// SortKeys globally sorts the members' keys.
+func (img *Image) SortKeys(t *Team, keys []int64) []int64 {
+	t = img.resolveTeam(t)
+	return img.m.comm.Sort(img.proc, img.st.kern, t, keys)
+}
+
+// TeamSplit collectively partitions parent (nil = team_world): images
+// passing equal colors form a new team, ordered by key then world rank
+// (§II-A). Every member of parent must call it; the new team containing
+// the caller is returned.
+func (img *Image) TeamSplit(parent *Team, color, key int) *Team {
+	parent = img.resolveTeam(parent)
+	spec := team.SplitSpec{World: img.Rank(), Color: color, Key: key}
+	gathered := img.m.comm.Gather(img.proc, img.st.kern, parent, 0, spec, 24)
+	var result map[int]*Team
+	if parent.MustRank(img.Rank()) == 0 {
+		specs := make([]team.SplitSpec, len(gathered))
+		colors := make(map[int]bool)
+		for i, g := range gathered {
+			specs[i] = g.(team.SplitSpec)
+			colors[specs[i].Color] = true
+		}
+		base := img.m.reserveTeamIDs(len(colors))
+		result = team.Split(parent, specs, base)
+	}
+	shared := img.m.comm.Broadcast(img.proc, img.st.kern, parent, 0, result, 16*parent.Size()).(map[int]*Team)
+	return shared[color]
+}
+
+// reserveTeamIDs hands out a contiguous block of globally unique team ids.
+func (m *Machine) reserveTeamIDs(n int) int64 {
+	base := m.nextSplit + 1
+	m.nextSplit += int64(n)
+	return base
+}

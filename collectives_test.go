@@ -1,0 +1,162 @@
+package caf_test
+
+// Event-carrying (explicit completion) variants of every asynchronous
+// collective, and finish/cofence interplay for the implicit variants.
+
+import (
+	"testing"
+
+	caf "caf2go"
+)
+
+func TestAsyncReduceWithEvents(t *testing.T) {
+	run(t, 8, func(img *caf.Image) {
+		dataE, opE := img.NewEvent(), img.NewEvent()
+		c := img.ReduceAsync(nil, 3, caf.Sum, []int64{int64(img.Rank())},
+			caf.DataEvent(dataE), caf.OpEvent(opE))
+		img.EventWait(dataE)
+		if img.Rank() == 3 {
+			if got := c.Result().([]int64)[0]; got != 28 {
+				t.Errorf("reduce = %d", got)
+			}
+		}
+		img.EventWait(opE)
+	})
+}
+
+func TestAsyncGatherScatterWithEvents(t *testing.T) {
+	run(t, 6, func(img *caf.Image) {
+		dataE := img.NewEvent()
+		g := img.GatherAsync(nil, 0, img.Rank()*2, 8, caf.DataEvent(dataE))
+		img.EventWait(dataE)
+		var vals []any
+		if img.Rank() == 0 {
+			gathered := g.Result().([]any)
+			vals = make([]any, len(gathered))
+			for i, v := range gathered {
+				vals[i] = v.(int) + 1
+			}
+		}
+		opE := img.NewEvent()
+		s := img.ScatterAsync(nil, 0, vals, 8, caf.OpEvent(opE))
+		img.EventWait(opE)
+		if got := s.Result(); got != img.Rank()*2+1 {
+			t.Errorf("image %d: scatter = %v", img.Rank(), got)
+		}
+	})
+}
+
+func TestAsyncAlltoallScanSortWithEvents(t *testing.T) {
+	run(t, 4, func(img *caf.Image) {
+		ev1, ev2, ev3 := img.NewEvent(), img.NewEvent(), img.NewEvent()
+		vals := make([]any, 4)
+		for i := range vals {
+			vals[i] = img.Rank() + i
+		}
+		a := img.AlltoallAsync(nil, vals, 8, caf.DataEvent(ev1))
+		s := img.ScanAsync(nil, caf.Max, []int64{int64(img.Rank())}, caf.DataEvent(ev2))
+		k := img.SortAsync(nil, []int64{int64(-img.Rank())}, caf.DataEvent(ev3))
+		img.EventWait(ev1)
+		img.EventWait(ev2)
+		img.EventWait(ev3)
+		res := a.Result().([]any)
+		for src, v := range res {
+			if v != src+img.Rank() {
+				t.Errorf("alltoall[%d] = %v", src, v)
+			}
+		}
+		if s.Result().([]int64)[0] != int64(img.Rank()) {
+			t.Errorf("scan max = %v", s.Result())
+		}
+		if got := k.Result().([]int64)[0]; got != int64(img.Rank()-3) {
+			t.Errorf("image %d: sorted key = %d, want %d", img.Rank(), got, img.Rank()-3)
+		}
+	})
+}
+
+func TestImplicitCollectivesCofenceClassing(t *testing.T) {
+	// A broadcast participant's implicit completion is write-class: a
+	// cofence letting WRITES pass must not wait for it; a full fence must.
+	run(t, 4, func(img *caf.Image) {
+		var val any
+		if img.Rank() == 0 {
+			val = 11
+		}
+		c := img.BroadcastAsync(nil, 0, val, 64)
+		if img.Rank() != 0 {
+			img.Cofence(caf.AllowWrite, caf.AllowNone)
+			// May or may not be complete — but the fence didn't block on
+			// it; a full fence now must retire it.
+			img.Cofence(caf.AllowNone, caf.AllowNone)
+			if !c.LocalDataDone() || c.Result() != 11 {
+				t.Errorf("image %d: bcast incomplete after full fence", img.Rank())
+			}
+		} else {
+			img.Cofence(caf.AllowNone, caf.AllowNone)
+		}
+		img.Barrier(nil)
+	})
+}
+
+func TestFinishCoversAllCollectiveKinds(t *testing.T) {
+	run(t, 8, func(img *caf.Image) {
+		handles := make([]*caf.Collective, 0, 6)
+		img.Finish(nil, func() {
+			handles = append(handles, img.BarrierAsync(nil))
+			var bval any
+			if img.Rank() == 1 {
+				bval = "x"
+			}
+			handles = append(handles, img.BroadcastAsync(nil, 1, bval, 8))
+			handles = append(handles, img.ReduceAsync(nil, 0, caf.Sum, []int64{1}))
+			handles = append(handles, img.AllreduceAsync(nil, caf.Min, []int64{int64(img.Rank())}))
+			handles = append(handles, img.GatherAsync(nil, 2, img.Rank(), 8))
+			handles = append(handles, img.ScanAsync(nil, caf.Sum, []int64{1}))
+		})
+		for i, h := range handles {
+			if !h.LocalOpDone() {
+				t.Errorf("image %d: collective %d not locally complete after finish", img.Rank(), i)
+			}
+		}
+	})
+}
+
+func TestSyncCollectivesOnSingletonTeam(t *testing.T) {
+	run(t, 3, func(img *caf.Image) {
+		solo := img.TeamSplit(nil, img.Rank(), 0) // one team per image
+		if solo.Size() != 1 {
+			t.Fatalf("solo size = %d", solo.Size())
+		}
+		if got := img.Allreduce(solo, caf.Sum, []int64{5})[0]; got != 5 {
+			t.Errorf("singleton allreduce = %d", got)
+		}
+		img.Barrier(solo)
+		if got := img.Broadcast(solo, 0, "v", 8); got != "v" {
+			t.Errorf("singleton broadcast = %v", got)
+		}
+		res := img.Gather(solo, 0, 9, 8)
+		if len(res) != 1 || res[0] != 9 {
+			t.Errorf("singleton gather = %v", res)
+		}
+	})
+}
+
+func TestNestedTeamSplitHierarchy(t *testing.T) {
+	run(t, 8, func(img *caf.Image) {
+		half := img.TeamSplit(nil, img.Rank()/4, img.Rank())
+		quarter := img.TeamSplit(half, half.MustRank(img.Rank())/2, img.Rank())
+		if half.Size() != 4 || quarter.Size() != 2 {
+			t.Fatalf("sizes %d/%d", half.Size(), quarter.Size())
+		}
+		if !quarter.SubsetOf(half) || !half.SubsetOf(img.World()) {
+			t.Error("team hierarchy broken")
+		}
+		// Collectives at every level of the hierarchy, interleaved.
+		a := img.Allreduce(nil, caf.Sum, []int64{1})[0]
+		b := img.Allreduce(half, caf.Sum, []int64{1})[0]
+		c := img.Allreduce(quarter, caf.Sum, []int64{1})[0]
+		if a != 8 || b != 4 || c != 2 {
+			t.Errorf("hierarchy sums = %d/%d/%d", a, b, c)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package caf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Conflict detection: when Config.DetectConflicts is set, the runtime
+// tracks the coarray ranges touched by in-flight one-sided operations
+// (CopyAsync, Get, Put) and flags overlapping concurrent accesses where
+// at least one side writes — the data races the paper notes in the
+// reference RandomAccess version (§IV-B: "a put can happen between a
+// get/put pair updating a location"). Function-shipped updates execute
+// atomically on the owner and therefore never trigger it.
+//
+// Only runtime-mediated accesses are visible; direct slice access through
+// Coarray.Local is the image's own memory and is not tracked (the DRF0
+// side of the paper's memory model covers it).
+
+// accessRange is one in-flight operation's claim on coarray data.
+type accessRange struct {
+	id     int64
+	region any // the coarray (identity)
+	rank   int
+	lo, hi int
+	write  bool
+	op     string
+}
+
+func (a accessRange) overlaps(b accessRange) bool {
+	return a.region == b.region && a.rank == b.rank && a.lo < b.hi && b.lo < a.hi
+}
+
+// conflictState is the machine-wide detector.
+type conflictState struct {
+	nextID int64
+	active []accessRange
+	count  int64
+	log    []string
+}
+
+const conflictLogCap = 16
+
+// beginAccess registers an in-flight access and reports conflicts with
+// currently active ones. Returns a release function.
+func (m *Machine) beginAccess(region any, rank, lo, hi int, write bool, op string) func() {
+	cs := m.conflicts
+	if cs == nil || lo >= hi {
+		return func() {}
+	}
+	cs.nextID++
+	a := accessRange{id: cs.nextID, region: region, rank: rank, lo: lo, hi: hi, write: write, op: op}
+	for _, b := range cs.active {
+		if (a.write || b.write) && a.overlaps(b) {
+			cs.count++
+			if len(cs.log) < conflictLogCap {
+				cs.log = append(cs.log, fmt.Sprintf(
+					"conflict at image %d [%d,%d): %s overlaps in-flight %s at t=%v",
+					rank, max2(a.lo, b.lo), min2(a.hi, b.hi), a.op, b.op, m.eng.Now()))
+			}
+		}
+	}
+	cs.active = append(cs.active, a)
+	return func() {
+		for i := range cs.active {
+			if cs.active[i].id == a.id {
+				cs.active = append(cs.active[:i], cs.active[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Conflicts reports the number of conflicting overlaps observed so far
+// (0 when detection is disabled).
+func (m *Machine) Conflicts() int64 {
+	if m.conflicts == nil {
+		return 0
+	}
+	return m.conflicts.count
+}
+
+// ConflictLog returns descriptions of the first few conflicts, sorted.
+func (m *Machine) ConflictLog() []string {
+	if m.conflicts == nil {
+		return nil
+	}
+	out := append([]string(nil), m.conflicts.log...)
+	sort.Strings(out)
+	return out
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,351 @@
+package caf
+
+import (
+	"fmt"
+
+	"caf2go/internal/core"
+	"caf2go/internal/fabric"
+	"caf2go/internal/rt"
+)
+
+// CopyOpt configures one asynchronous copy.
+type CopyOpt func(*copyOpts)
+
+type copyOpts struct {
+	pred  *Event
+	srcE  *Event
+	destE *Event
+}
+
+// Pred gates the copy on a predicate event: it proceeds only after e has
+// been posted (copy_async's preE, §II-C1). e may live on any image.
+func Pred(e *Event) CopyOpt { return func(o *copyOpts) { o.pred = e } }
+
+// SrcEvent requests notification of e when the source data has been read
+// and the source buffer may be overwritten (copy_async's srcE).
+// Supplying any completion event makes the copy explicitly synchronized:
+// it is then invisible to cofence and to the enclosing finish.
+func SrcEvent(e *Event) CopyOpt { return func(o *copyOpts) { o.srcE = e } }
+
+// DestEvent requests notification of e when the data has been delivered
+// to the destination (copy_async's destE).
+func DestEvent(e *Event) CopyOpt { return func(o *copyOpts) { o.destE = e } }
+
+// copyPutMsg carries copy data to the destination image.
+type copyPutMsg struct {
+	data      any
+	write     func(data any)
+	onWritten func() // runs on the destination image after the write
+	destE     *Event
+}
+
+// copyReadMsg asks the source image to read a section and forward it.
+type copyReadMsg struct {
+	read    func() any
+	dstRank int
+	bytes   int
+	class   fabric.Class
+	track   any // base finish ref for the data hop
+	srcE    *Event
+	put     copyPutMsg
+}
+
+// chainMsg registers a predicate continuation on a remote event's owner.
+type chainMsg struct {
+	e          *Event
+	resumeRank int
+	resume     func()
+}
+
+// CopyAsync initiates a one-sided asynchronous copy from src to dst
+// (§II-C1). Either side may be a coarray section on any image or a
+// process-local buffer; the initiator needs to own neither. The call
+// guarantees only initiation completion. Without completion events the
+// copy is implicitly synchronized: its local data completion is observed
+// by cofence and its global completion by the enclosing finish.
+//
+// Completion points (Fig. 4):
+//   - source on the initiator: local data completion when the data is on
+//     the wire (source buffer reusable);
+//   - destination on the initiator: local data completion when the data
+//     has landed (destination readable);
+//   - srcE / destE fire at source-read and destination-write wherever
+//     those happen.
+func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
+	var o copyOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if dst.Len() != src.Len() {
+		panic(fmt.Sprintf("caf: copy length mismatch: dst %d, src %d", dst.Len(), src.Len()))
+	}
+	st := img.st
+	st.copies++
+	img.traceInstant("copy_async", "copy")
+	me := img.Rank()
+	srcLocal := src.isLocalBuf() || src.rank == me
+	dstLocal := dst.isLocalBuf() || dst.rank == me
+	implicit := o.srcE == nil && o.destE == nil
+	bytes := src.Len()*src.elemBytes() + 16
+	class := classForBytes(img.m, bytes)
+
+	var track any
+	if implicit {
+		track = img.track()
+	}
+
+	// Cofence bookkeeping: how the op touches the initiator's local data.
+	var class2 core.OpClass
+	if srcLocal {
+		class2 |= core.OpReads
+	}
+	if dstLocal {
+		class2 |= core.OpWrites
+	}
+	var op *core.PendingOp
+	signals := 0
+	if srcLocal {
+		signals++
+	}
+	if dstLocal {
+		signals++
+	}
+	signal := func() {
+		signals--
+		if signals == 0 && op != nil {
+			op.CompleteLocalData()
+		}
+	}
+
+	var onWritten func()
+	if dstLocal && implicit {
+		onWritten = signal
+	}
+
+	var start func()
+	if srcLocal {
+		dstRank := me
+		if !dstLocal {
+			dstRank = dst.rank
+		}
+		start = func() {
+			relSrc := claimSec(img.m, src, false, "copy_async read")
+			data := src.read() // snapshot at initiation
+			relSrc()
+			relDst := claimSec(img.m, dst, true, "copy_async write")
+			tok := st.newDelivToken()
+			put := &copyPutMsg{
+				data: data,
+				write: func(d any) {
+					dst.write(d.([]T))
+					relDst()
+				},
+				onWritten: onWritten,
+				destE:     o.destE,
+			}
+			sendOpts := rt.SendOpts{
+				Track:       track,
+				Class:       class,
+				Bytes:       bytes,
+				OnDelivered: tok.complete,
+			}
+			srcE := o.srcE
+			sendOpts.OnInjected = func() {
+				// Source buffer reusable: data is on the wire.
+				if implicit {
+					signal()
+				}
+				if srcE != nil {
+					img.m.notifyFrom(me, srcE)
+				}
+			}
+			st.kern.Send(dstRank, tagCopyPut, put, sendOpts)
+		}
+	} else {
+		// Source is remote: ask its owner to read and forward (a get
+		// when the destination is here, a third-party copy otherwise).
+		dstRank := me
+		if !dstLocal {
+			dstRank = dst.rank
+		}
+		var baseTrack any
+		if track != nil {
+			baseTrack = core.Ref{ID: track.(core.Ref).ID}
+		}
+		start = func() {
+			relSrc := claimSec(img.m, src, false, "copy_async read")
+			relDst := claimSec(img.m, dst, true, "copy_async write")
+			tok := st.newDelivToken()
+			msg := &copyReadMsg{
+				read: func() any {
+					v := src.read()
+					relSrc()
+					return v
+				},
+				dstRank: dstRank,
+				bytes:   bytes,
+				class:   class,
+				track:   baseTrack,
+				srcE:    o.srcE,
+				put: copyPutMsg{
+					write: func(d any) {
+						dst.write(d.([]T))
+						relDst()
+					},
+					onWritten: onWritten,
+					destE:     o.destE,
+				},
+			}
+			st.kern.Send(src.rank, tagCopyGetReq, msg, rt.SendOpts{
+				Track:       track,
+				Class:       fabric.AMShort,
+				Bytes:       32,
+				OnDelivered: tok.complete,
+			})
+		}
+	}
+
+	initiate := start
+	if o.pred != nil {
+		initiate = func() { img.m.gatePredicate(me, o.pred, start) }
+	}
+
+	if implicit && class2 != 0 {
+		op = img.ct.Register(class2, initiate)
+	} else {
+		initiate()
+	}
+}
+
+// gatePredicate runs fn once e has a post available, routing through e's
+// owner image when remote (one message each way).
+func (m *Machine) gatePredicate(fromRank int, e *Event, fn func()) {
+	if e.owner == fromRank {
+		m.whenPosted(e, fn)
+		return
+	}
+	m.states[fromRank].kern.Send(e.owner, tagEventChain, &chainMsg{
+		e:          e,
+		resumeRank: fromRank,
+		resume:     fn,
+	}, rt.SendOpts{Class: fabric.AMShort, Bytes: 24})
+}
+
+func (m *Machine) handleCopyPut(d *rt.Delivery) {
+	msg := d.Payload.(*copyPutMsg)
+	msg.write(msg.data)
+	if msg.onWritten != nil {
+		msg.onWritten()
+	}
+	if msg.destE != nil {
+		m.notifyFrom(d.Img.Rank(), msg.destE)
+	}
+}
+
+func (m *Machine) handleCopyGetReq(d *rt.Delivery) {
+	msg := d.Payload.(*copyReadMsg)
+	data := msg.read()
+	here := d.Img.Rank()
+	if msg.srcE != nil {
+		// Source read complete: the source buffer may be overwritten.
+		m.notifyFrom(here, msg.srcE)
+	}
+	put := msg.put
+	put.data = data
+	m.states[here].kern.Send(msg.dstRank, tagCopyPut, &put, rt.SendOpts{
+		Track: msg.track,
+		Class: msg.class,
+		Bytes: msg.bytes,
+	})
+}
+
+func (m *Machine) handleEventNotify(d *rt.Delivery) {
+	m.post(d.Payload.(*Event))
+}
+
+func (m *Machine) handleEventChain(d *rt.Delivery) {
+	msg := d.Payload.(*chainMsg)
+	here := d.Img.Rank()
+	m.whenPosted(msg.e, func() {
+		m.states[here].kern.Send(msg.resumeRank, tagResume, msg.resume,
+			rt.SendOpts{Class: fabric.AMShort, Bytes: 16})
+	})
+}
+
+func (m *Machine) handleResume(d *rt.Delivery) {
+	d.Payload.(func())()
+}
+
+// ---------------------------------------------------------------------
+// Blocking one-sided operations (the reference get/put style the paper's
+// Figs. 2 and 13 contrast function shipping against). Each is one full
+// network round trip.
+// ---------------------------------------------------------------------
+
+type blockingGetMsg struct {
+	read  func() any
+	bytes int
+}
+
+type blockingPutMsg struct {
+	write func()
+}
+
+// claimSec registers a conflict-detection claim for a coarray section
+// (no-op for local buffers or when detection is off).
+func claimSec[T any](m *Machine, s Sec[T], write bool, op string) func() {
+	if s.ca == nil {
+		return func() {}
+	}
+	return m.beginAccess(s.ca, s.rank, s.lo, s.hi, write, op)
+}
+
+// Get performs a blocking one-sided read of a (possibly remote) section.
+func Get[T any](img *Image, src Sec[T]) []T {
+	if src.isLocalBuf() || src.rank == img.Rank() {
+		return src.read()
+	}
+	rel := claimSec(img.m, src, false, "get")
+	bytes := src.Len()*src.elemBytes() + 16
+	reply := img.st.kern.Call(img.proc, src.rank, tagBlockingGet, &blockingGetMsg{
+		read: func() any {
+			v := src.read()
+			rel()
+			return v
+		},
+		bytes: bytes,
+	}, rt.SendOpts{Class: fabric.AMShort, Bytes: 24})
+	return reply.([]T)
+}
+
+// Put performs a blocking one-sided write of vals into a (possibly
+// remote) section, returning after the write is visible there.
+func Put[T any](img *Image, dst Sec[T], vals []T) {
+	if dst.Len() != len(vals) {
+		panic(fmt.Sprintf("caf: put length mismatch: dst %d, vals %d", dst.Len(), len(vals)))
+	}
+	if dst.isLocalBuf() || dst.rank == img.Rank() {
+		dst.write(vals)
+		return
+	}
+	rel := claimSec(img.m, dst, true, "put")
+	data := append([]T(nil), vals...)
+	bytes := len(vals)*dst.elemBytes() + 16
+	img.st.kern.Call(img.proc, dst.rank, tagBlockingPut, &blockingPutMsg{
+		write: func() {
+			dst.write(data)
+			rel()
+		},
+	}, rt.SendOpts{Class: classForBytes(img.m, bytes), Bytes: bytes})
+}
+
+func (m *Machine) handleBlockingGet(d *rt.Delivery) {
+	msg := d.Payload.(*blockingGetMsg)
+	d.Reply(msg.read(), msg.bytes)
+}
+
+func (m *Machine) handleBlockingPut(d *rt.Delivery) {
+	msg := d.Payload.(*blockingPutMsg)
+	msg.write()
+	d.Reply(nil, 8)
+}

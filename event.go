@@ -1,0 +1,155 @@
+package caf
+
+import (
+	"fmt"
+
+	"caf2go/internal/fabric"
+	"caf2go/internal/rt"
+	"caf2go/internal/sim"
+)
+
+// Event is a CAF 2.0 event variable: a counting synchronization object
+// hosted on one image (§II-B). Events manage explicit completion of
+// asynchronous operations — passed as copy/collective/spawn parameters
+// they are notified at the operation's completion points — and support
+// direct pair-wise coordination via EventNotify / EventWait.
+//
+// EventNotify has release semantics: it is not observed by a waiter until
+// the notifier's prior implicitly-synchronized remote writes have been
+// delivered, but operations after the notify may start before it.
+// EventWait has acquire semantics: it blocks the calling proc until a
+// notification arrives and orders subsequent operations after it.
+type Event struct {
+	owner int // world rank hosting the state
+	id    int
+	m     *Machine
+}
+
+// eventState lives on the owner image.
+type eventState struct {
+	count   int64
+	waiters []*sim.Proc
+	cbs     []func() // one-shot callbacks, each consuming one post
+}
+
+// Owner returns the world rank hosting the event.
+func (e *Event) Owner() int { return e.owner }
+
+func (e *Event) String() string {
+	return fmt.Sprintf("event(%d@%d)", e.id, e.owner)
+}
+
+// NewEvent allocates an event hosted on the calling image. The returned
+// handle may be shared with other images (through coarrays or spawn
+// arguments) and notified remotely.
+func (img *Image) NewEvent() *Event {
+	st := img.st
+	st.events = append(st.events, &eventState{})
+	return &Event{owner: img.Rank(), id: len(st.events) - 1, m: img.m}
+}
+
+func (m *Machine) eventState(e *Event) *eventState {
+	return m.states[e.owner].events[e.id]
+}
+
+// post increments the event on its owner image and wakes waiters. Must
+// run "on" the owner (i.e. from a delivery or local call).
+func (m *Machine) post(e *Event) {
+	es := m.eventState(e)
+	es.count++
+	if len(es.cbs) > 0 && es.count > 0 {
+		cb := es.cbs[0]
+		es.cbs = es.cbs[1:]
+		es.count--
+		cb()
+	}
+	for _, w := range es.waiters {
+		w.Unpark()
+	}
+}
+
+// whenPosted arranges fn to run (on the owner image's context) when a
+// post is available, consuming it. Used for predicate events on
+// asynchronous copies.
+func (m *Machine) whenPosted(e *Event, fn func()) {
+	es := m.eventState(e)
+	if es.count > 0 {
+		es.count--
+		fn()
+		return
+	}
+	es.cbs = append(es.cbs, fn)
+}
+
+// notifyFrom delivers one post to e, sending an active message when the
+// signal originates on a different image than the owner.
+func (m *Machine) notifyFrom(fromRank int, e *Event) {
+	if e.owner == fromRank {
+		m.post(e)
+		return
+	}
+	m.states[fromRank].kern.Send(e.owner, tagEventNotify, e, rt.SendOpts{
+		Class: fabric.AMShort,
+		Bytes: 16,
+	})
+}
+
+// EventNotify posts the event with release semantics: the notification is
+// deferred until every implicitly-synchronized operation this image
+// initiated earlier has been delivered (so a waiter observes their
+// effects), but this call itself returns immediately — later operations
+// may proceed before the notify lands (§III-B4a).
+func (img *Image) EventNotify(e *Event) {
+	st := img.st
+	// Release boundary: deferred initiations must actually start.
+	img.ct.Flush()
+	from := img.Rank()
+	img.m.afterOutstandingDeliveries(st, func() {
+		img.m.notifyFrom(from, e)
+	})
+}
+
+// EventWait blocks until a notification is available and consumes it
+// (acquire semantics, §III-B4b). The event must be hosted on the calling
+// image: waiting on a remote image's event state is not meaningful in
+// CAF 2.0 — share a local event instead.
+func (img *Image) EventWait(e *Event) {
+	if e.owner != img.Rank() {
+		panic(fmt.Sprintf("caf: image %d waiting on %v hosted elsewhere", img.Rank(), e))
+	}
+	// Acquire is a synchronization point for deferred initiations too.
+	img.ct.Flush()
+	start := img.Now()
+	es := img.m.eventState(e)
+	es.waiters = append(es.waiters, img.proc)
+	img.proc.WaitUntil("event wait", func() bool { return es.count > 0 })
+	img.traceSpan("event_wait", "sync", start)
+	for i, w := range es.waiters {
+		if w == img.proc {
+			es.waiters = append(es.waiters[:i], es.waiters[i+1:]...)
+			break
+		}
+	}
+	es.count--
+}
+
+// EventTryWait consumes a notification if one is available.
+func (img *Image) EventTryWait(e *Event) bool {
+	if e.owner != img.Rank() {
+		panic(fmt.Sprintf("caf: image %d trying %v hosted elsewhere", img.Rank(), e))
+	}
+	es := img.m.eventState(e)
+	if es.count > 0 {
+		es.count--
+		return true
+	}
+	return false
+}
+
+// EventCount reports the pending notification count (local events only).
+func (img *Image) EventCount(e *Event) int64 {
+	if e.owner != img.Rank() {
+		panic(fmt.Sprintf("caf: image %d reading %v hosted elsewhere", img.Rank(), e))
+	}
+	return img.m.eventState(e).count
+}

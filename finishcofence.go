@@ -1,0 +1,65 @@
+package caf
+
+import (
+	"caf2go/internal/core"
+)
+
+// Allow re-exports the cofence directional filter type.
+type Allow = core.Allow
+
+// Cofence directional arguments, mirroring
+// cofence(DOWNWARD=READ/WRITE/ANY, UPWARD=…). AllowNone (the default,
+// i.e. cofence()) lets nothing cross.
+const (
+	AllowNone  = core.AllowNone
+	AllowRead  = core.AllowRead
+	AllowWrite = core.AllowWrite
+	AllowAny   = core.AllowAny
+)
+
+// Finish executes body inside a finish block over team t (nil means
+// team_world), then blocks until every asynchronous operation with
+// implicit completion initiated inside the block — by any member image,
+// including transitively spawned functions — is globally complete
+// (§III-A). Every member of t must execute the matching Finish. It
+// returns the number of termination-detection reduction rounds used.
+func (img *Image) Finish(t *Team, body func()) int {
+	if t == nil {
+		t = img.m.world
+	}
+	start := img.Now()
+	s := img.m.plane.Begin(img.st.kern, t)
+	img.finishStack = append(img.finishStack, s)
+	body()
+	img.finishStack = img.finishStack[:len(img.finishStack)-1]
+	// The end of a finish block is a synchronization point: deferred
+	// initiations must start or termination detection would wait on
+	// operations that never launch.
+	img.ct.Flush()
+	detect := img.Now()
+	rounds := img.m.plane.End(img.proc, img.st.kern, s)
+	img.traceSpan("finish", "sync", start)
+	img.traceSpan("finish-detect", "sync", detect)
+	return rounds
+}
+
+// Cofence blocks until every implicitly-synchronized asynchronous
+// operation initiated earlier by this image is local data complete,
+// except those whose class `down` allows to defer past the fence
+// (§III-B). `up` constrains which later operations may be hoisted above
+// the fence; a runtime executing in program order never hoists, so it is
+// recorded for API fidelity and relaxed-mode bookkeeping only.
+//
+// img.Cofence(AllowNone, AllowNone) is the full fence cofence();
+// img.Cofence(AllowWrite, AllowWrite) is cofence(WRITE, WRITE) from the
+// paper's Fig. 9, letting pending local-write completions slide below.
+func (img *Image) Cofence(down, up Allow) {
+	start := img.Now()
+	img.ct.Cofence(img.proc, down, up)
+	img.traceSpan("cofence", "sync", start)
+}
+
+// PendingImplicitOps reports how many implicitly-synchronized operations
+// initiated by this image have not yet reached local data completion
+// (diagnostic).
+func (img *Image) PendingImplicitOps() int { return img.ct.Pending() }

@@ -1,0 +1,3 @@
+module caf2go
+
+go 1.22

@@ -1,0 +1,90 @@
+package caf
+
+// Fabric tag allocation for the caf runtime layer. internal/collect owns
+// tag 100; everything else lives here.
+const (
+	tagSpawn       uint16 = 300
+	tagSpawnNamed  uint16 = 301
+	tagCopyPut     uint16 = 310
+	tagCopyGetReq  uint16 = 311
+	tagEventNotify uint16 = 313
+	tagEventChain  uint16 = 314
+	tagResume      uint16 = 315
+	tagLock        uint16 = 320
+	tagUnlock      uint16 = 321
+	tagBlockingGet uint16 = 330
+	tagBlockingPut uint16 = 331
+)
+
+// registerHandlers installs every caf AM handler on all images.
+func (m *Machine) registerHandlers() {
+	m.k.RegisterHandler(tagSpawn, m.handleSpawn)
+	m.k.RegisterHandler(tagSpawnNamed, m.handleSpawnNamed)
+	m.k.RegisterHandler(tagCopyPut, m.handleCopyPut)
+	m.k.RegisterHandler(tagCopyGetReq, m.handleCopyGetReq)
+	m.k.RegisterHandler(tagEventNotify, m.handleEventNotify)
+	m.k.RegisterHandler(tagEventChain, m.handleEventChain)
+	m.k.RegisterHandler(tagResume, m.handleResume)
+	m.k.RegisterHandler(tagLock, m.handleLock)
+	m.k.RegisterHandler(tagUnlock, m.handleUnlock)
+	m.k.RegisterHandler(tagBlockingGet, m.handleBlockingGet)
+	m.k.RegisterHandler(tagBlockingPut, m.handleBlockingPut)
+}
+
+// delivToken tracks one outstanding remote update for release-semantics
+// event notification.
+type delivToken struct {
+	done bool
+	cbs  []func()
+}
+
+func (t *delivToken) complete() {
+	if t.done {
+		return
+	}
+	t.done = true
+	cbs := t.cbs
+	t.cbs = nil
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// newDelivToken registers an outstanding remote update on the image.
+func (st *imageState) newDelivToken() *delivToken {
+	t := &delivToken{}
+	st.pendingDeliv = append(st.pendingDeliv, t)
+	return t
+}
+
+// afterOutstandingDeliveries runs fn once every remote update outstanding
+// at call time has been delivered. Updates issued later do not delay fn —
+// exactly the porousness EventNotify needs.
+func (m *Machine) afterOutstandingDeliveries(st *imageState, fn func()) {
+	// Prune finished tokens while collecting the live ones.
+	live := st.pendingDeliv[:0]
+	var waitFor []*delivToken
+	for _, t := range st.pendingDeliv {
+		if !t.done {
+			live = append(live, t)
+			waitFor = append(waitFor, t)
+		}
+	}
+	for i := len(live); i < len(st.pendingDeliv); i++ {
+		st.pendingDeliv[i] = nil
+	}
+	st.pendingDeliv = live
+	if len(waitFor) == 0 {
+		fn()
+		return
+	}
+	remaining := len(waitFor)
+	for _, t := range waitFor {
+		t.cbs = append(t.cbs, func() {
+			remaining--
+			if remaining == 0 {
+				fn()
+			}
+		})
+	}
+}

@@ -1,0 +1,264 @@
+// Package baseline implements the termination-detection comparators the
+// paper discusses so finish can be evaluated against them:
+//
+//   - BarrierFinish — the naive scheme of Fig. 5 (wait for locally
+//     initiated spawns, then barrier), which is INCORRECT for transitive
+//     spawn chains and exists to demonstrate exactly that;
+//   - X10Finish — X10-style centralized vector counting (§V): each image
+//     reports a per-place spawn vector to a home image on quiescence;
+//     the home detects global termination when every place's completions
+//     match the summed vectors. Correct, but the home receives p vectors
+//     of size p — the O(p²) bottleneck the paper's distributed algorithm
+//     avoids.
+//
+// Both run on the public caf API, outside any real finish block, so
+// their spawns are untracked by the paper's detector.
+package baseline
+
+import (
+	"fmt"
+
+	caf "caf2go"
+)
+
+// SpawnFn is a shipped function under a baseline detector; it receives a
+// spawn function so transitive spawns stay inside the protocol.
+type SpawnFn func(img *caf.Image, spawn func(target int, fn SpawnFn))
+
+// BarrierResult reports what the broken detector observed.
+type BarrierResult struct {
+	// ExitTime is when this image left the barrier, believing the
+	// system terminated.
+	ExitTime caf.Time
+}
+
+// BarrierFinish runs body with a spawn function whose direct completions
+// are awaited locally (via events) before a team barrier. Transitively
+// spawned functions are NOT awaited: a function that lands on an image
+// after that image passed the barrier is silently missed — the Fig. 5
+// failure. Use only to demonstrate the bug.
+func BarrierFinish(img *caf.Image, body func(spawn func(target int, fn SpawnFn))) BarrierResult {
+	outstanding := 0
+	done := img.NewEvent()
+	// Direct spawns are awaited; nested spawns run detached with no one
+	// waiting — the flaw under demonstration.
+	spawn := func(target int, fn SpawnFn) {
+		outstanding++
+		img.Spawn(target, func(remote *caf.Image) {
+			fn(remote, detachedSpawn(remote))
+		}, caf.WithEvent(done))
+	}
+	body(spawn)
+	for i := 0; i < outstanding; i++ {
+		img.EventWait(done)
+	}
+	img.Barrier(nil)
+	return BarrierResult{ExitTime: img.Now()}
+}
+
+// detachedSpawn ships functions with no completion tracking at all.
+func detachedSpawn(img *caf.Image) func(target int, fn SpawnFn) {
+	return func(target int, fn SpawnFn) {
+		img.Spawn(target, func(remote *caf.Image) {
+			fn(remote, detachedSpawn(remote))
+		}, caf.WithEvent(remote_noop(img)))
+	}
+}
+
+// remote_noop allocates a throwaway event so the spawn is explicitly
+// completed (and therefore invisible to any enclosing real finish).
+func remote_noop(img *caf.Image) *caf.Event { return img.NewEvent() }
+
+// ---------------------------------------------------------------------
+// X10-style centralized finish.
+// ---------------------------------------------------------------------
+
+// xState is one image's bookkeeping for one X10Finish round.
+type xState struct {
+	spawnedTo []int64 // per-place spawns this image initiated
+	completed int64   // activities completed on this image
+	active    int64   // activities currently running here
+	bodyDone  bool
+	doneEv    *caf.Event
+	dirty     bool
+}
+
+// xHome is the home image's view.
+type xHome struct {
+	vectors   [][]int64 // latest vector per reporter
+	completed []int64   // latest completion count per reporter
+	reported  []bool
+	finished  bool
+}
+
+// X10Stats reports the centralized detector's costs.
+type X10Stats struct {
+	// Reports is the number of vector reports the home image received.
+	Reports int64
+	// ReportBytes is the total size of those vectors — Θ(p) each, the
+	// scaling bottleneck (§V).
+	ReportBytes int64
+}
+
+// x10Run is the state of one X10Finish round across all images.
+type x10Run struct {
+	key    uint64
+	shared *X10Shared
+	ref    int
+	states []*xState
+	home   *xHome
+	stats  X10Stats
+}
+
+// X10Finish runs body under a centralized vector-counting detector with
+// the given home image. Every image of the machine must call it
+// (SPMD). It blocks until global termination of all (transitive)
+// spawns, like finish, but detection is centralized at home.
+//
+// The shared run state is allocated by world rank 0 through a barrier
+// handshake; the function is self-contained per call site.
+func X10Finish(img *caf.Image, home int, shared *X10Shared, body func(spawn func(target int, fn SpawnFn))) X10Stats {
+	p := img.NumImages()
+	run := shared.get(img, p, home)
+	st := run.states[img.Rank()]
+
+	var doSpawn func(self *caf.Image, target int, fn SpawnFn)
+	doSpawn = func(self *caf.Image, target int, fn SpawnFn) {
+		runSt := run.states[self.Rank()]
+		runSt.spawnedTo[target]++
+		runSt.dirty = true
+		ev := self.NewEvent() // explicit completion: untracked by real finish
+		self.Spawn(target, func(remote *caf.Image) {
+			rst := run.ensureState(remote)
+			rst.active++
+			fn(remote, func(t int, f SpawnFn) { doSpawn(remote, t, f) })
+			rst.active--
+			rst.completed++
+			rst.dirty = true
+			maybeReport(remote, run, home)
+		}, caf.WithEvent(ev))
+	}
+
+	body(func(target int, fn SpawnFn) { doSpawn(img, target, fn) })
+	st.bodyDone = true
+	st.dirty = true
+	maybeReport(img, run, home)
+	img.EventWait(st.doneEv)
+	img.Barrier(nil)
+	stats := run.stats
+	shared.release(run)
+	return stats
+}
+
+// X10Shared holds cross-image state for X10Finish rounds; allocate one
+// per machine (outside Launch) and pass it to every image. Rounds are
+// matched by a per-image sequence number, so overlapping entry/exit of
+// consecutive rounds is safe.
+type X10Shared struct {
+	runs map[uint64]*x10Run
+	seq  map[int]uint64
+}
+
+// NewX10Shared allocates the shared holder.
+func NewX10Shared() *X10Shared {
+	return &X10Shared{runs: make(map[uint64]*x10Run), seq: make(map[int]uint64)}
+}
+
+func (s *X10Shared) get(img *caf.Image, p, home int) *x10Run {
+	s.seq[img.Rank()]++
+	key := s.seq[img.Rank()]
+	run, ok := s.runs[key]
+	if !ok {
+		run = &x10Run{
+			key:    key,
+			shared: s,
+			states: make([]*xState, p),
+			home: &xHome{
+				vectors:   make([][]int64, p),
+				completed: make([]int64, p),
+				reported:  make([]bool, p),
+			},
+		}
+		s.runs[key] = run
+	}
+	run.ensureState(img)
+	run.ref++
+	return run
+}
+
+// ensureState lazily builds an image's state — an inbound activity may
+// land before the image itself entered the X10Finish call.
+func (r *x10Run) ensureState(img *caf.Image) *xState {
+	st := r.states[img.Rank()]
+	if st == nil {
+		st = &xState{
+			spawnedTo: make([]int64, len(r.states)),
+			doneEv:    img.NewEvent(),
+		}
+		r.states[img.Rank()] = st
+	}
+	return st
+}
+
+func (s *X10Shared) release(run *x10Run) {
+	run.ref--
+	if run.ref == 0 {
+		delete(s.runs, run.key)
+	}
+}
+
+// maybeReport sends this image's vector to the home when it is idle.
+func maybeReport(img *caf.Image, run *x10Run, home int) {
+	st := run.states[img.Rank()]
+	if !st.bodyDone || st.active > 0 || !st.dirty {
+		return
+	}
+	st.dirty = false
+	vec := append([]int64(nil), st.spawnedTo...)
+	completed := st.completed
+	from := img.Rank()
+	bytes := 8*len(vec) + 16
+	run.stats.Reports++
+	run.stats.ReportBytes += int64(bytes)
+	img.Spawn(home, func(h *caf.Image) {
+		hm := run.home
+		hm.vectors[from] = vec
+		hm.completed[from] = completed
+		hm.reported[from] = true
+		checkTermination(h, run)
+	}, caf.WithBytes(bytes), caf.WithEvent(img.NewEvent()))
+}
+
+// checkTermination runs on the home image after each report.
+func checkTermination(h *caf.Image, run *x10Run) {
+	hm := run.home
+	if hm.finished {
+		return
+	}
+	p := h.NumImages()
+	for _, r := range hm.reported {
+		if !r {
+			return
+		}
+	}
+	for dest := 0; dest < p; dest++ {
+		var spawned int64
+		for w := 0; w < p; w++ {
+			spawned += hm.vectors[w][dest]
+		}
+		if spawned != hm.completed[dest] {
+			return
+		}
+	}
+	hm.finished = true
+	for i := 0; i < p; i++ {
+		i := i
+		h.Spawn(i, func(r *caf.Image) {
+			r.EventNotify(run.states[r.Rank()].doneEv)
+		}, caf.WithEvent(h.NewEvent()))
+	}
+}
+
+func (s X10Stats) String() string {
+	return fmt.Sprintf("x10(reports=%d, bytes=%d)", s.Reports, s.ReportBytes)
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+
+	caf "caf2go"
+	"caf2go/internal/ra"
+)
+
+// Fig13Opts parameterizes the RandomAccess version comparison (paper
+// Fig. 13: get-update-put vs function shipping with 2K/4K/8K finish
+// invocations, i.e. bunches of 2048/1024/512 updates, on a 2^22-entry
+// local table).
+type Fig13Opts struct {
+	Cores          []int // paper: 32 … 8192
+	LocalTableBits int   // paper: 22; scaled default 8
+	Bunches        []int // paper: 2048, 4096, 8192 finishes ⇒ bunch 2048/1024/512
+	Workers        int   // GUP pipelining width
+	Seed           int64
+}
+
+// DefaultFig13 returns simulation-scaled options.
+func DefaultFig13() Fig13Opts {
+	return Fig13Opts{
+		Cores:          []int{4, 8, 16, 32, 64},
+		LocalTableBits: 8,
+		Bunches:        []int{64, 128, 256},
+		Workers:        16,
+		Seed:           1,
+	}
+}
+
+// raFabric is the cost model for the RandomAccess figures: the default
+// fabric plus a flow-control retry penalty on credit-stalled injections
+// (the conduit behaviour behind the Fig. 14 anomaly).
+func raFabric() caf.FabricConfig {
+	fab := caf.DefaultFabric()
+	fab.StallPenalty = 2 * caf.Microsecond
+	return fab
+}
+
+// Fig13 regenerates the RandomAccess implementation comparison.
+// Expected shape (paper): the function-shipping lines track the
+// get-update-put line, and the number of finish invocations (bunch size)
+// barely matters.
+func Fig13(o Fig13Opts) (Figure, error) {
+	fig := Figure{
+		Name:   "fig13",
+		Title:  "RandomAccess: get-update-put vs function shipping with finish",
+		XLabel: "cores",
+		YLabel: "execution time (simulated seconds)",
+		Notes: []string{
+			fmt.Sprintf("local table 2^%d words/image, updates 4x table (paper: 2^22)", o.LocalTableBits),
+			"expected: FS comparable to get-update-put; bunch size immaterial",
+		},
+	}
+	gup := Series{Label: "Get-Update-Put"}
+	for _, p := range o.Cores {
+		cfg := ra.DefaultConfig(ra.GetUpdatePut)
+		cfg.LocalTableBits = o.LocalTableBits
+		cfg.Workers = o.Workers
+		res, err := ra.Run(caf.Config{Images: p, Seed: o.Seed, Fabric: raFabric()}, cfg)
+		if err != nil {
+			return fig, fmt.Errorf("fig13 gup p=%d: %w", p, err)
+		}
+		gup.X = append(gup.X, float64(p))
+		gup.Y = append(gup.Y, seconds(res.Time))
+	}
+	fig.Series = append(fig.Series, gup)
+
+	for _, bunch := range o.Bunches {
+		s := Series{Label: fmt.Sprintf("FS w/ bunch %d", bunch)}
+		for _, p := range o.Cores {
+			cfg := ra.DefaultConfig(ra.FunctionShipping)
+			cfg.LocalTableBits = o.LocalTableBits
+			cfg.BunchSize = bunch
+			res, err := ra.Run(caf.Config{Images: p, Seed: o.Seed, Fabric: raFabric()}, cfg)
+			if err != nil {
+				return fig, fmt.Errorf("fig13 fs bunch=%d p=%d: %w", bunch, p, err)
+			}
+			if res.Errors != 0 {
+				return fig, fmt.Errorf("fig13 fs bunch=%d p=%d: %d verification errors", bunch, p, res.Errors)
+			}
+			s.X = append(s.X, float64(p))
+			s.Y = append(s.Y, seconds(res.Time))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig14Opts parameterizes the bunch-size sweep (paper Fig. 14: bunch
+// 16…2048 at 128 and 1024 cores, local table 2^23).
+type Fig14Opts struct {
+	Cores          []int
+	BunchSizes     []int
+	LocalTableBits int
+	Seed           int64
+}
+
+// DefaultFig14 returns simulation-scaled options.
+func DefaultFig14() Fig14Opts {
+	return Fig14Opts{
+		Cores:          []int{16, 64},
+		BunchSizes:     []int{16, 32, 64, 128, 256, 512, 1024, 2048},
+		LocalTableBits: 9,
+		Seed:           1,
+	}
+}
+
+// Fig14 regenerates the finish-granularity sweep. Expected shape
+// (paper): finish overhead dominates at bunch 16; cost becomes trivial
+// past ~256; very large bunches rise again due to flow control.
+func Fig14(o Fig14Opts) (Figure, error) {
+	fig := Figure{
+		Name:   "fig14",
+		Title:  "RandomAccess (function shipping): execution time vs bunch size",
+		XLabel: "bunch size",
+		YLabel: "execution time (simulated seconds)",
+		Notes: []string{
+			fmt.Sprintf("local table 2^%d words/image (paper: 2^23)", o.LocalTableBits),
+			"expected: U-shape — synchronization-bound left, flow-control-bound right",
+		},
+	}
+	for _, p := range o.Cores {
+		s := Series{Label: fmt.Sprintf("%d cores", p)}
+		for _, bunch := range o.BunchSizes {
+			cfg := ra.DefaultConfig(ra.FunctionShipping)
+			cfg.LocalTableBits = o.LocalTableBits
+			cfg.BunchSize = bunch
+			res, err := ra.Run(caf.Config{Images: p, Seed: o.Seed, Fabric: raFabric()}, cfg)
+			if err != nil {
+				return fig, fmt.Errorf("fig14 p=%d bunch=%d: %w", p, bunch, err)
+			}
+			s.X = append(s.X, float64(bunch))
+			s.Y = append(s.Y, seconds(res.Time))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,402 @@
+// Package core implements the primary contribution of the paper: the
+// finish construct's SPMD termination-detection algorithm (Fig. 7) and the
+// cofence local-data-completion tracker (§III-B), together with the
+// epoch machinery both rely on.
+//
+// The Plane type implements rt.Tracker: every asynchronous operation
+// initiated with implicit completion inside a finish block is sent as a
+// tracked message, and the plane maintains the per-image, per-epoch
+// counters (sent, delivered, received, completed) that the detection
+// loop sum-reduces.
+package core
+
+import (
+	"fmt"
+
+	"caf2go/internal/collect"
+	"caf2go/internal/rt"
+	"caf2go/internal/sim"
+	"caf2go/internal/team"
+)
+
+// Ref identifies a finish block on the wire. ID is identical on every
+// member image (derived from the team id and a per-team sequence number);
+// ParityOdd is stamped by the sender's OnSend with the sender's present
+// epoch parity, implementing the paper's fromOddEpoch bit. The epoch-box
+// pointers bind each message's delivery/completion credits to the epoch
+// objects that counted its send/receipt — on real hardware these are
+// per-image table lookups keyed by (ID, parity, round); carrying pointers
+// is the shared-address-space simulation's shortcut for the same thing.
+type Ref struct {
+	ID        int64
+	ParityOdd bool
+	sBox      *epochBox // sender's epoch at send time (ack credit target)
+	rBox      *epochBox // receiver's epoch at delivery (completion target)
+}
+
+// FinishID derives the globally consistent id of the seq-th finish block
+// executed on a team. Every image entering its seq-th finish on the same
+// team computes the same value — no coordination needed.
+func FinishID(t *team.Team, seq uint64) int64 {
+	return t.ID()<<32 | int64(seq&0xFFFFFFFF)
+}
+
+// epoch holds the four counters of Fig. 7.
+type epoch struct {
+	sent      int64 // messages this image initiated
+	delivered int64 // delivery acks received for its sends
+	received  int64 // messages delivered to this image
+	completed int64 // received messages whose execution finished
+}
+
+func (e *epoch) add(o epoch) {
+	e.sent += o.sent
+	e.delivered += o.delivered
+	e.received += o.received
+	e.completed += o.completed
+}
+
+// quiescent is the wait_until precondition (Fig. 7 line 4): everything
+// this image sent has landed, and everything it received has completed.
+func (e *epoch) quiescent() bool {
+	return e.sent == e.delivered && e.completed == e.received
+}
+
+// epochBox is an epoch with a forwarding pointer. When the odd epoch is
+// folded into the even epoch (next_epoch, Fig. 7 lines 16-26), credits
+// still in flight for messages counted in the old odd epoch must land in
+// the fold target; the forward pointer routes them there.
+type epochBox struct {
+	epoch
+	fwd *epochBox
+}
+
+func (b *epochBox) resolve() *epochBox {
+	for b.fwd != nil {
+		b = b.fwd
+	}
+	return b
+}
+
+// State is one image's view of one finish block.
+type State struct {
+	id         int64
+	even       *epochBox // permanent fold target
+	odd        *epochBox // current odd epoch, nil when not in one
+	presentOdd bool
+
+	// Grand totals (all epochs), used by the no-wait four-counter
+	// variant and by garbage collection.
+	tSent, tDelivered, tReceived, tCompleted int64
+
+	t      *team.Team // set at Begin
+	begun  bool
+	done   bool
+	rounds int // allreduce rounds used to detect termination
+
+	// RoundAt records the virtual time each detection round completed
+	// (diagnostic; used by the benchmark harness to attribute rounds to
+	// run phases).
+	RoundAt []sim.Time
+
+	waiter *sim.Proc // detection loop parked on the quiescence condition
+}
+
+func newState(id int64) *State {
+	return &State{id: id, even: &epochBox{}}
+}
+
+// Rounds reports how many sum-reduction rounds detection used so far.
+func (s *State) Rounds() int { return s.rounds }
+
+// Team returns the team the finish block synchronizes (set at Begin).
+func (s *State) Team() *team.Team { return s.t }
+
+// ensureOdd returns the current odd epoch box, creating it if needed.
+func (s *State) ensureOdd() *epochBox {
+	if s.odd == nil {
+		s.odd = &epochBox{}
+	}
+	return s.odd
+}
+
+// currentBox is the epoch new activity on this image is counted in.
+func (s *State) currentBox() *epochBox {
+	if s.presentOdd {
+		return s.ensureOdd()
+	}
+	return s.even
+}
+
+// boxByParity returns the epoch box a message of the given stamp parity
+// is counted in on this image.
+func (s *State) boxByParity(odd bool) *epochBox {
+	if odd {
+		return s.ensureOdd()
+	}
+	return s.even
+}
+
+// fold implements next_epoch's second branch: odd counters are folded
+// into the even epoch, late credits for odd-counted messages are
+// forwarded there, and the image returns to the even epoch.
+func (s *State) fold() {
+	if s.odd != nil {
+		s.even.add(s.odd.epoch)
+		s.odd.fwd = s.even
+		s.odd = nil
+	}
+	s.presentOdd = false
+}
+
+// totalQuiescent reports whether no acks or completions are outstanding —
+// the garbage-collection condition for done states.
+func (s *State) totalQuiescent() bool {
+	return s.tSent == s.tDelivered && s.tReceived == s.tCompleted
+}
+
+// Config selects detection-algorithm variants.
+type Config struct {
+	// WaitQuiescent enables the Fig. 7 line-4 precondition, which bounds
+	// detection to L+1 reduction rounds (Theorem 1). Disabling it yields
+	// the "algorithm without upper bound" the paper compares against in
+	// Fig. 18: the loop speculatively reduces as fast as it can; for
+	// soundness it then needs Mattern-style four-counter double rounds
+	// (two consecutive identical all-complete snapshots), which is
+	// exactly why it burns roughly twice the reductions.
+	WaitQuiescent bool
+}
+
+// Stats aggregates plane-wide observations.
+type Stats struct {
+	Finishes       int   // completed finish blocks (per-image count)
+	ReduceRounds   int64 // total allreduce rounds across all finishes
+	TrackedSends   int64
+	TrackedArrives int64
+}
+
+// Plane is the finish termination-detection plane for one machine.
+type Plane struct {
+	k         *rt.Kernel
+	comm      *collect.Comm
+	cfg       Config
+	nodes     []map[int64]*State
+	seqs      []map[int64]uint64 // per-image, per-team finish sequence numbers
+	stats     Stats
+	lastState []*State
+}
+
+// NewPlane builds the plane and installs it as k's message tracker.
+func NewPlane(k *rt.Kernel, comm *collect.Comm, cfg Config) *Plane {
+	pl := &Plane{k: k, comm: comm, cfg: cfg}
+	pl.nodes = make([]map[int64]*State, k.NumImages())
+	pl.seqs = make([]map[int64]uint64, k.NumImages())
+	for i := range pl.nodes {
+		pl.nodes[i] = make(map[int64]*State)
+		pl.seqs[i] = make(map[int64]uint64)
+	}
+	k.SetTracker(pl)
+	return pl
+}
+
+// Stats returns a snapshot of plane counters.
+func (pl *Plane) Stats() Stats { return pl.stats }
+
+// state returns image rank's state for finish id, creating it lazily —
+// tracked messages may arrive before the local image enters the block.
+func (pl *Plane) state(rank int, id int64) *State {
+	s, ok := pl.nodes[rank][id]
+	if !ok {
+		s = newState(id)
+		pl.nodes[rank][id] = s
+	}
+	return s
+}
+
+// ActiveStates reports how many finish states image rank currently holds
+// (for leak tests).
+func (pl *Plane) ActiveStates(rank int) int { return len(pl.nodes[rank]) }
+
+// Begin enters a finish block on img over t and returns its state. The
+// id is derived from the team and the image's per-team finish sequence;
+// SPMD programs therefore match blocks without communication.
+func (pl *Plane) Begin(img *rt.ImageKernel, t *team.Team) *State {
+	if !t.Contains(img.Rank()) {
+		panic(fmt.Sprintf("core: image %d enters finish on %v it is not a member of", img.Rank(), t))
+	}
+	pl.seqs[img.Rank()][t.ID()]++
+	id := FinishID(t, pl.seqs[img.Rank()][t.ID()])
+	s := pl.state(img.Rank(), id)
+	if s.begun {
+		panic(fmt.Sprintf("core: finish %d begun twice on image %d", id, img.Rank()))
+	}
+	s.begun = true
+	s.t = t
+	return s
+}
+
+// Ref returns the tracking context to attach to asynchronous operations
+// initiated inside this finish block.
+func (s *State) Ref() Ref { return Ref{ID: s.id} }
+
+// End runs the termination-detection loop on the calling image's proc p
+// and returns the number of sum-reduction rounds used. All images of the
+// team must call End for their matching block.
+func (pl *Plane) End(p *sim.Proc, img *rt.ImageKernel, s *State) int {
+	if !s.begun || s.done {
+		panic("core: End on a finish that is not active")
+	}
+	if pl.cfg.WaitQuiescent {
+		pl.endFig7(p, img, s)
+	} else {
+		pl.endFourCounter(p, img, s)
+	}
+	s.done = true
+	pl.stats.Finishes++
+	if pl.lastState == nil {
+		pl.lastState = make([]*State, pl.k.NumImages())
+	}
+	pl.lastState[img.Rank()] = s
+	pl.maybeCollect(img.Rank(), s)
+	return s.rounds
+}
+
+// LastState returns the most recently completed finish state on an image
+// (diagnostics for the benchmark harness).
+func (pl *Plane) LastState(rank int) *State {
+	if pl.lastState == nil {
+		return nil
+	}
+	return pl.lastState[rank]
+}
+
+// endFig7 is the paper's algorithm (Fig. 7).
+func (pl *Plane) endFig7(p *sim.Proc, img *rt.ImageKernel, s *State) {
+	for {
+		// wait_until: all sent delivered, all received completed
+		// (line 4). The contribution below is computed in the same
+		// simulation timeslice, so the snapshot is exactly the
+		// quiescent state.
+		s.waiter = p
+		p.WaitUntil("finish quiescence", func() bool { return s.even.quiescent() })
+		s.waiter = nil
+		// next_epoch, first call: proceed into the odd epoch unless an
+		// odd-parity message already forced us there (line 6-7).
+		if !s.presentOdd {
+			s.presentOdd = true
+		}
+		s.rounds++
+		pl.stats.ReduceRounds++
+		workLeft := pl.comm.Allreduce(p, img, s.t, collect.Sum,
+			[]int64{s.even.sent - s.even.completed})[0]
+		s.RoundAt = append(s.RoundAt, p.Now())
+		// next_epoch, second call: fold odd into even (lines 16-26).
+		s.fold()
+		if workLeft == 0 {
+			return
+		}
+	}
+}
+
+// endFourCounter is the speculative variant without the line-4 upper
+// bound (the Fig. 18 comparator): before each wave it waits only for
+// local execution to drain (received == completed) — NOT for delivery of
+// the messages it sent — then reduces the grand totals. Without the full
+// quiescence precondition a single zero sum can be inconsistent, so it
+// terminates only after two consecutive identical all-complete snapshots
+// (Mattern's four-counter safety condition). That extra confirmation
+// wave, plus waves wasted on in-flight sends, is why it burns roughly
+// twice the reductions of the Fig. 7 algorithm.
+func (pl *Plane) endFourCounter(p *sim.Proc, img *rt.ImageKernel, s *State) {
+	var prevSent, prevCompleted int64 = -1, -2
+	for {
+		// Pace each wave on local execution only: "does not wait for
+		// delivery ... of shipped messages before starting termination
+		// detection".
+		s.waiter = p
+		p.WaitUntil("finish local drain", func() bool { return s.tReceived == s.tCompleted })
+		s.waiter = nil
+		s.rounds++
+		pl.stats.ReduceRounds++
+		res := pl.comm.Allreduce(p, img, s.t, collect.Sum,
+			[]int64{s.tSent, s.tCompleted})
+		s.RoundAt = append(s.RoundAt, p.Now())
+		sent, completed := res[0], res[1]
+		if sent == completed && prevSent == prevCompleted && sent == prevSent {
+			// Fold any stale odd epoch so late parity bookkeeping
+			// stays consistent with Fig. 7-mode finishes elsewhere.
+			s.fold()
+			return
+		}
+		prevSent, prevCompleted = sent, completed
+	}
+}
+
+// maybeCollect garbage-collects a finished state once no acks or
+// completions remain outstanding (they can trail the final reduction).
+func (pl *Plane) maybeCollect(rank int, s *State) {
+	if s.done && s.totalQuiescent() {
+		delete(pl.nodes[rank], s.id)
+	}
+}
+
+// ---------------------------------------------------------------------
+// rt.Tracker implementation.
+// ---------------------------------------------------------------------
+
+// OnSend counts the send in the sender's present epoch and stamps the
+// message with that parity and epoch binding.
+func (pl *Plane) OnSend(src *rt.ImageKernel, ctx any) any {
+	ref := ctx.(Ref)
+	s := pl.state(src.Rank(), ref.ID)
+	box := s.currentBox()
+	box.resolve().sent++
+	s.tSent++
+	pl.stats.TrackedSends++
+	return Ref{ID: ref.ID, ParityOdd: s.presentOdd, sBox: box}
+}
+
+// OnReceive counts the arrival; an odd-parity message forces the receiver
+// into its odd epoch (Fig. 7 message_handler).
+func (pl *Plane) OnReceive(dst *rt.ImageKernel, ctx any) any {
+	ref := ctx.(Ref)
+	s := pl.state(dst.Rank(), ref.ID)
+	if ref.ParityOdd {
+		s.presentOdd = true
+		s.ensureOdd()
+	}
+	box := s.boxByParity(ref.ParityOdd)
+	box.resolve().received++
+	s.tReceived++
+	pl.stats.TrackedArrives++
+	ref.rBox = box
+	return ref
+}
+
+// OnComplete counts handler/shipped-function completion in the epoch that
+// counted the receipt, and wakes the local detection loop if waiting.
+func (pl *Plane) OnComplete(dst *rt.ImageKernel, ctx any) {
+	ref := ctx.(Ref)
+	s := pl.state(dst.Rank(), ref.ID)
+	ref.rBox.resolve().completed++
+	s.tCompleted++
+	if s.waiter != nil {
+		s.waiter.Unpark()
+	}
+	pl.maybeCollect(dst.Rank(), s)
+}
+
+// OnAck counts the delivery acknowledgement on the sender, in the epoch
+// that counted the send.
+func (pl *Plane) OnAck(src *rt.ImageKernel, ctx any) {
+	ref := ctx.(Ref)
+	s := pl.state(src.Rank(), ref.ID)
+	ref.sBox.resolve().delivered++
+	s.tDelivered++
+	if s.waiter != nil {
+		s.waiter.Unpark()
+	}
+	pl.maybeCollect(src.Rank(), s)
+}
+
+var _ rt.Tracker = (*Plane)(nil)

@@ -1,0 +1,377 @@
+// Package fabric models the communication fabric of a distributed-memory
+// machine on top of the sim engine: per-image network endpoints exchanging
+// active messages with configurable one-way latency, injection bandwidth,
+// handler occupancy, credit-based flow control, and delivery acknowledgements.
+//
+// It plays the role the Gemini interconnect + GASNet conduit played for
+// CAF 2.0 on Jaguar/Hopper: everything above it (the gasnet package, the
+// CAF runtime, finish/cofence) only sees Send and handler callbacks.
+package fabric
+
+import (
+	"fmt"
+
+	"caf2go/internal/sim"
+)
+
+// Class describes the message service level, mirroring GASNet's AM
+// categories. Medium AMs have a bounded payload (the limit the paper notes
+// caps UTS steals at 9 tree nodes); Long/RDMA transfers are unbounded.
+type Class uint8
+
+const (
+	// AMShort is a header-only active message (control traffic).
+	AMShort Class = iota
+	// AMMedium is an active message with a bounded payload.
+	AMMedium
+	// RDMA is a one-sided bulk transfer (unbounded payload).
+	RDMA
+)
+
+func (c Class) String() string {
+	switch c {
+	case AMShort:
+		return "short"
+	case AMMedium:
+		return "medium"
+	case RDMA:
+		return "rdma"
+	}
+	return "?"
+}
+
+// Config sets the fabric cost model. The defaults (see DefaultConfig)
+// resemble a Gemini-class torus NIC: ~1.5us latency, ~5GB/s effective
+// injection bandwidth, sub-microsecond handler occupancy.
+type Config struct {
+	Latency     sim.Time // one-way wire latency between distinct images
+	SelfLatency sim.Time // loopback latency (dst == src)
+	GapPerByte  sim.Time // sender injection cost per payload byte
+	AMOverhead  sim.Time // receiver-side handler dispatch occupancy
+	AckLatency  sim.Time // delivery-ack return latency (0 ⇒ Latency)
+	MaxMedium   int      // AMMedium payload cap in bytes (0 ⇒ 512)
+	Credits     int      // max un-acked sends per endpoint (0 ⇒ unlimited)
+	// StallPenalty is an extra injection cost paid by each message that
+	// had to queue for credits, modeling flow-control retry/backoff in
+	// the conduit (the GASNet behaviour behind the paper's Fig. 14
+	// anomaly, §IV-B).
+	StallPenalty sim.Time
+	FIFO         bool     // enforce per-(src,dst) ordered delivery
+	Jitter       sim.Time // max random extra delivery delay when !FIFO
+	Topology     Topology // optional hop model; nil ⇒ uniform 1 hop
+	HopLatency   sim.Time // extra latency per hop beyond the first
+	// ImagesPerNode groups consecutive endpoints onto shared NICs: they
+	// contend for one injection pipe and exchange intra-node messages at
+	// SelfLatency — the paper's runs placed 8 images per node (§IV).
+	// 0 or 1 means one NIC per image.
+	ImagesPerNode int
+}
+
+// DefaultConfig returns the cost model used by the benchmark harness.
+func DefaultConfig() Config {
+	return Config{
+		Latency:     1500 * sim.Nanosecond,
+		SelfLatency: 100 * sim.Nanosecond,
+		GapPerByte:  sim.Time(1), // ≈1GB/s per byte-ns; scaled below
+		AMOverhead:  300 * sim.Nanosecond,
+		MaxMedium:   512,
+		Credits:     64,
+		FIFO:        true,
+	}
+}
+
+// Topology maps an (src, dst) pair to a hop count ≥ 1, letting experiments
+// model non-uniform machines (tori, fat trees).
+type Topology interface {
+	Hops(src, dst int) int
+}
+
+// Msg is one message in flight. Payload carries structured data by
+// reference (the simulation shares one address space); Bytes is the
+// modeled wire size used for bandwidth accounting and medium-AM limits.
+type Msg struct {
+	Src, Dst int
+	Tag      uint16
+	Class    Class
+	Bytes    int
+	Payload  any
+}
+
+// Handler processes a delivered message on the destination endpoint. It
+// runs as a simulation event on the receiving image's comm context.
+type Handler func(ep *Endpoint, m *Msg)
+
+// SendOpts carries completion callbacks for one Send.
+type SendOpts struct {
+	// OnInjected fires when the payload has left the source buffer
+	// (local data completion for the sender).
+	OnInjected func()
+	// OnDelivered fires on the *sender* when the delivery ack returns
+	// (local operation completion for the sender).
+	OnDelivered func()
+}
+
+// Stats aggregates fabric-wide counters.
+type Stats struct {
+	MsgsSent    uint64
+	BytesSent   uint64
+	Acks        uint64
+	HandlerRuns uint64
+	CreditStall sim.Time // total virtual time messages waited for credits
+}
+
+// Fabric is a set of endpoints sharing one cost model and engine.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	eps   []*Endpoint
+	stats Stats
+}
+
+// New builds a fabric with n endpoints (image 0..n-1).
+func New(eng *sim.Engine, n int, cfg Config) *Fabric {
+	if cfg.MaxMedium == 0 {
+		cfg.MaxMedium = 512
+	}
+	if cfg.AckLatency == 0 {
+		cfg.AckLatency = cfg.Latency
+	}
+	f := &Fabric{eng: eng, cfg: cfg}
+	f.eps = make([]*Endpoint, n)
+	nics := make(map[int]*nicState)
+	for i := range f.eps {
+		node := i
+		if cfg.ImagesPerNode > 1 {
+			node = i / cfg.ImagesPerNode
+		}
+		nic, ok := nics[node]
+		if !ok {
+			nic = &nicState{}
+			nics[node] = nic
+		}
+		f.eps[i] = &Endpoint{
+			f:        f,
+			rank:     i,
+			nic:      nic,
+			handlers: make(map[uint16]Handler),
+		}
+	}
+	return f
+}
+
+// nicState is the injection pipe shared by the images of one node.
+type nicState struct {
+	free sim.Time // busy-until
+}
+
+// Engine returns the underlying simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Config returns the fabric cost model.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NumEndpoints reports the endpoint count.
+func (f *Fabric) NumEndpoints() int { return len(f.eps) }
+
+// Endpoint returns endpoint i.
+func (f *Fabric) Endpoint(i int) *Endpoint { return f.eps[i] }
+
+// Stats returns a snapshot of the fabric counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// MaxMedium reports the medium-AM payload cap in bytes.
+func (f *Fabric) MaxMedium() int { return f.cfg.MaxMedium }
+
+func (f *Fabric) hops(src, dst int) int {
+	if f.cfg.Topology == nil {
+		return 1
+	}
+	h := f.cfg.Topology.Hops(src, dst)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// nodeOf maps an endpoint rank to its NIC-sharing node.
+func (f *Fabric) nodeOf(rank int) int {
+	if f.cfg.ImagesPerNode <= 1 {
+		return rank
+	}
+	return rank / f.cfg.ImagesPerNode
+}
+
+// wireLatency is the one-way latency between src and dst. Images on the
+// same node talk over shared memory (SelfLatency).
+func (f *Fabric) wireLatency(src, dst int) sim.Time {
+	if f.nodeOf(src) == f.nodeOf(dst) {
+		return f.cfg.SelfLatency
+	}
+	lat := f.cfg.Latency
+	if extra := f.hops(src, dst) - 1; extra > 0 {
+		lat += sim.Time(extra) * f.cfg.HopLatency
+	}
+	return lat
+}
+
+type queuedSend struct {
+	m        *Msg
+	opts     SendOpts
+	queuedAt sim.Time
+}
+
+// Endpoint is one image's attachment point to the fabric.
+type Endpoint struct {
+	f    *Fabric
+	rank int
+	nic  *nicState // injection pipe (shared across a node's images)
+
+	handlers map[uint16]Handler
+
+	recvFree sim.Time // receiver handler context busy-until
+
+	outstanding int          // un-acked sends (credit accounting)
+	sendq       []queuedSend // waiting for credits
+
+	lastArrival map[int]sim.Time // per-destination FIFO enforcement
+
+	// Per-endpoint counters.
+	Sent     uint64
+	Received uint64
+}
+
+// Rank returns the endpoint's image index.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Fabric returns the owning fabric.
+func (ep *Endpoint) Fabric() *Fabric { return ep.f }
+
+// RegisterHandler binds tag to fn. Registering a tag twice panics: tags
+// are a static protocol namespace owned by the runtime layers.
+func (ep *Endpoint) RegisterHandler(tag uint16, fn Handler) {
+	if _, dup := ep.handlers[tag]; dup {
+		panic(fmt.Sprintf("fabric: endpoint %d: duplicate handler for tag %d", ep.rank, tag))
+	}
+	ep.handlers[tag] = fn
+}
+
+// Send initiates an active message from this endpoint. It never blocks:
+// if flow-control credits are exhausted the message queues locally and
+// the caller learns about progress only through opts callbacks. Send
+// panics if a medium AM exceeds the fabric payload cap or the tag has no
+// handler at the destination — both are protocol bugs, not runtime
+// conditions.
+func (ep *Endpoint) Send(m *Msg, opts SendOpts) {
+	if m.Class == AMMedium && m.Bytes > ep.f.cfg.MaxMedium {
+		panic(fmt.Sprintf("fabric: medium AM of %d bytes exceeds cap %d", m.Bytes, ep.f.cfg.MaxMedium))
+	}
+	if m.Src != ep.rank {
+		panic(fmt.Sprintf("fabric: message src %d sent from endpoint %d", m.Src, ep.rank))
+	}
+	if m.Dst < 0 || m.Dst >= len(ep.f.eps) {
+		panic(fmt.Sprintf("fabric: message dst %d out of range [0,%d)", m.Dst, len(ep.f.eps)))
+	}
+	if _, ok := ep.f.eps[m.Dst].handlers[m.Tag]; !ok {
+		panic(fmt.Sprintf("fabric: no handler for tag %d at endpoint %d", m.Tag, m.Dst))
+	}
+	if ep.f.cfg.Credits > 0 && ep.outstanding >= ep.f.cfg.Credits {
+		ep.sendq = append(ep.sendq, queuedSend{m: m, opts: opts, queuedAt: ep.f.eng.Now()})
+		return
+	}
+	ep.inject(m, opts)
+}
+
+// QueuedSends reports how many messages are stalled waiting for credits.
+func (ep *Endpoint) QueuedSends() int { return len(ep.sendq) }
+
+// Outstanding reports un-acked sends currently counted against credits.
+func (ep *Endpoint) Outstanding() int { return ep.outstanding }
+
+func (ep *Endpoint) inject(m *Msg, opts SendOpts) {
+	f := ep.f
+	eng := f.eng
+	now := eng.Now()
+
+	ep.outstanding++
+	ep.Sent++
+	f.stats.MsgsSent++
+	f.stats.BytesSent += uint64(m.Bytes)
+
+	// Serialize injection on the sender NIC.
+	start := now
+	if ep.nic.free > start {
+		start = ep.nic.free
+	}
+	injected := start + sim.Time(m.Bytes)*f.cfg.GapPerByte
+	ep.nic.free = injected
+
+	if opts.OnInjected != nil {
+		eng.At(injected, opts.OnInjected)
+	}
+
+	arrival := injected + f.wireLatency(m.Src, m.Dst)
+	if f.cfg.FIFO {
+		if ep.lastArrival == nil {
+			ep.lastArrival = make(map[int]sim.Time)
+		}
+		if last := ep.lastArrival[m.Dst]; arrival < last {
+			arrival = last
+		}
+		ep.lastArrival[m.Dst] = arrival
+	} else if f.cfg.Jitter > 0 {
+		arrival += sim.Time(eng.Rand().Int63n(int64(f.cfg.Jitter) + 1))
+	}
+
+	dst := f.eps[m.Dst]
+	eng.At(arrival, func() { dst.deliver(m, ep, opts) })
+}
+
+// deliver runs at message arrival on the destination endpoint: it claims
+// the receiver's handler context, dispatches the handler, and returns the
+// delivery ack to the sender.
+func (ep *Endpoint) deliver(m *Msg, src *Endpoint, opts SendOpts) {
+	f := ep.f
+	eng := f.eng
+	handlerAt := eng.Now()
+	if ep.recvFree > handlerAt {
+		handlerAt = ep.recvFree
+	}
+	done := handlerAt + f.cfg.AMOverhead
+	ep.recvFree = done
+
+	eng.At(done, func() {
+		ep.Received++
+		f.stats.HandlerRuns++
+		h := ep.handlers[m.Tag]
+		h(ep, m)
+
+		// Delivery ack back to the sender (credit release + callback).
+		ackAt := eng.Now() + f.wireLatency(m.Dst, m.Src)
+		if f.cfg.AckLatency != f.cfg.Latency && m.Src != m.Dst {
+			ackAt = eng.Now() + f.cfg.AckLatency
+		}
+		eng.At(ackAt, func() {
+			f.stats.Acks++
+			src.outstanding--
+			if opts.OnDelivered != nil {
+				opts.OnDelivered()
+			}
+			src.drainQueue()
+		})
+	})
+}
+
+// drainQueue launches stalled sends as credits free up. Each stalled
+// message pays the flow-control penalty on its way out.
+func (ep *Endpoint) drainQueue() {
+	f := ep.f
+	for len(ep.sendq) > 0 && (f.cfg.Credits == 0 || ep.outstanding < f.cfg.Credits) {
+		q := ep.sendq[0]
+		ep.sendq = ep.sendq[1:]
+		f.stats.CreditStall += f.eng.Now() - q.queuedAt
+		if f.cfg.StallPenalty > 0 {
+			ep.nic.free += f.cfg.StallPenalty
+		}
+		ep.inject(q.m, q.opts)
+	}
+}

@@ -1,0 +1,67 @@
+package fabric
+
+// Uniform is a topology where every distinct pair is one hop apart.
+type Uniform struct{}
+
+// Hops implements Topology.
+func (Uniform) Hops(src, dst int) int { return 1 }
+
+// Torus3D models a 3-D torus (Gemini-style) with the given dimensions.
+// Ranks are laid out in row-major (x fastest) order; hop count is the sum
+// of per-dimension shortest wrap-around distances.
+type Torus3D struct {
+	X, Y, Z int
+}
+
+// Hops implements Topology.
+func (t Torus3D) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	sx, sy, sz := t.coords(src)
+	dx, dy, dz := t.coords(dst)
+	h := torusDist(sx, dx, t.X) + torusDist(sy, dy, t.Y) + torusDist(sz, dz, t.Z)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+func (t Torus3D) coords(r int) (x, y, z int) {
+	x = r % t.X
+	y = (r / t.X) % t.Y
+	z = r / (t.X * t.Y) % t.Z
+	return
+}
+
+func torusDist(a, b, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if w := n - d; w < d {
+		d = w
+	}
+	return d
+}
+
+// Hypercube models a binary hypercube: the hop count between two ranks is
+// the Hamming distance of their indices.
+type Hypercube struct{}
+
+// Hops implements Topology.
+func (Hypercube) Hops(src, dst int) int {
+	x := uint(src ^ dst)
+	h := 0
+	for x != 0 {
+		h += int(x & 1)
+		x >>= 1
+	}
+	if h < 1 && src != dst {
+		h = 1
+	}
+	return h
+}

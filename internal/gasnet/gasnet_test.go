@@ -1,0 +1,159 @@
+package gasnet
+
+import (
+	"testing"
+
+	"caf2go/internal/fabric"
+	"caf2go/internal/rt"
+	"caf2go/internal/sim"
+)
+
+func newConduit(n int) (*sim.Engine, *Conduit, *Segment) {
+	eng := sim.NewEngine(1)
+	k := rt.NewKernel(eng, n, fabric.DefaultConfig())
+	c := New(k)
+	seg := c.AttachSegment(256)
+	return eng, c, seg
+}
+
+func TestPutNBExplicit(t *testing.T) {
+	eng, c, seg := newConduit(2)
+	k := c.k
+	k.Image(0).Go("main", func(p *sim.Proc) {
+		h := c.PutNB(0, seg, 1, 8, []byte{1, 2, 3})
+		if h.Done() {
+			t.Error("put complete at initiation")
+		}
+		h.Wait(p)
+		if !h.Done() {
+			t.Error("wait returned incomplete")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := seg.Local(1)[8:11]
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("remote segment = %v", got)
+	}
+}
+
+func TestPutNBSourceReusableAtInitiation(t *testing.T) {
+	// GASNet put semantics: the conduit copies; mutating the source
+	// after initiation must not corrupt the transfer (§III-B context).
+	eng, c, seg := newConduit(2)
+	c.k.Image(0).Go("main", func(p *sim.Proc) {
+		buf := []byte{42}
+		h := c.PutNB(0, seg, 1, 0, buf)
+		buf[0] = 99
+		h.Wait(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Local(1)[0] != 42 {
+		t.Errorf("transfer saw mutated source: %d", seg.Local(1)[0])
+	}
+}
+
+func TestGetNB(t *testing.T) {
+	eng, c, seg := newConduit(2)
+	copy(seg.Local(1)[4:], []byte{9, 8, 7})
+	var got []byte
+	c.k.Image(0).Go("main", func(p *sim.Proc) {
+		h := c.GetNB(0, seg, 1, 4, 3)
+		h.Wait(p)
+		got = h.Data()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 9 || got[2] != 7 {
+		t.Errorf("get = %v", got)
+	}
+}
+
+func TestImplicitSync(t *testing.T) {
+	eng, c, seg := newConduit(3)
+	out := make([]byte, 2)
+	copy(seg.Local(2), []byte{5, 6})
+	c.k.Image(0).Go("main", func(p *sim.Proc) {
+		c.PutNBI(0, seg, 1, 0, []byte{11})
+		c.PutNBI(0, seg, 1, 1, []byte{22})
+		c.GetNBI(0, seg, 2, 0, 2, out)
+		c.SyncNBIAll(p, 0)
+		if seg.Local(1)[0] != 11 || seg.Local(1)[1] != 22 {
+			t.Error("implicit puts not complete after sync")
+		}
+		if out[0] != 5 || out[1] != 6 {
+			t.Errorf("implicit get out = %v", out)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessRegion(t *testing.T) {
+	eng, c, seg := newConduit(2)
+	c.k.Image(0).Go("main", func(p *sim.Proc) {
+		c.BeginAccessRegion(0)
+		c.PutNBI(0, seg, 1, 0, []byte{1})
+		c.PutNBI(0, seg, 1, 1, []byte{2})
+		rh := c.EndAccessRegion(0)
+		if rh.Done() {
+			t.Error("region done immediately")
+		}
+		rh.Wait(p)
+		if !rh.Done() {
+			t.Error("region wait incomplete")
+		}
+		if seg.Local(1)[0] != 1 || seg.Local(1)[1] != 2 {
+			t.Error("region ops not complete")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessRegionCannotNest(t *testing.T) {
+	_, c, _ := newConduit(1)
+	c.BeginAccessRegion(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested access region did not panic")
+		}
+	}()
+	c.BeginAccessRegion(0)
+}
+
+func TestEndRegionWithoutBeginPanics(t *testing.T) {
+	_, c, _ := newConduit(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched EndAccessRegion did not panic")
+		}
+	}()
+	c.EndAccessRegion(0)
+}
+
+func TestRegionSeparatesFromImplicitSet(t *testing.T) {
+	// Ops inside a region must not be claimed by SyncNBIAll and vice
+	// versa.
+	eng, c, seg := newConduit(2)
+	c.k.Image(0).Go("main", func(p *sim.Proc) {
+		c.PutNBI(0, seg, 1, 0, []byte{1}) // implicit set
+		c.BeginAccessRegion(0)
+		c.PutNBI(0, seg, 1, 1, []byte{2}) // region
+		rh := c.EndAccessRegion(0)
+		c.SyncNBIAll(p, 0) // waits only the first
+		rh.Wait(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Local(1)[0] != 1 || seg.Local(1)[1] != 2 {
+		t.Error("ops incomplete")
+	}
+}

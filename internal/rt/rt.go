@@ -1,0 +1,334 @@
+// Package rt is the runtime kernel of the simulated CAF 2.0 machine: one
+// ImageKernel per process image, typed active-message dispatch with
+// request/reply correlation, per-image simulated processes, and the
+// message-lifecycle tracking hooks that the finish termination-detection
+// plane (internal/core) observes.
+//
+// Layering: fabric moves bytes; rt moves typed messages and knows what an
+// image is; core counts tracked messages; the caf package on top exposes
+// the language-level constructs.
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"caf2go/internal/fabric"
+	"caf2go/internal/sim"
+)
+
+// Reserved fabric tags used by rt itself.
+const (
+	tagReply uint16 = 0xFFFF
+)
+
+// Tracker observes the lifecycle of tracked messages. A message sent with
+// a non-nil track context triggers, in order: OnSend on the source (which
+// may transform the context, e.g. stamping the sender's epoch parity),
+// OnReceive on the destination at delivery, OnComplete on the destination
+// when the handler (or the detached work it started) finishes, and OnAck
+// on the source when the delivery acknowledgement returns. The finish
+// plane implements this to maintain its sent/received/completed/delivered
+// counters (paper Fig. 7).
+type Tracker interface {
+	// OnSend may transform the context (stamp parity, bind the sender's
+	// epoch); the returned value travels with the message.
+	OnSend(src *ImageKernel, ctx any) any
+	// OnReceive may transform the context again (bind the receiver's
+	// epoch); the returned value is what OnComplete later sees.
+	OnReceive(dst *ImageKernel, ctx any) any
+	OnComplete(dst *ImageKernel, ctx any)
+	OnAck(src *ImageKernel, ctx any)
+}
+
+// Handler processes a delivered message on an image.
+type Handler func(d *Delivery)
+
+// env is the rt wire envelope.
+type env struct {
+	payload any
+	track   any
+	replyTo int    // world rank awaiting a reply, or -1
+	replyID uint64 // correlation id at replyTo
+}
+
+// Kernel is the whole simulated machine.
+type Kernel struct {
+	eng     *sim.Engine
+	fab     *fabric.Fabric
+	images  []*ImageKernel
+	tracker Tracker
+	nextID  int64 // generator for team ids etc.
+}
+
+// NewKernel builds a machine with n images over the given fabric config.
+func NewKernel(eng *sim.Engine, n int, cfg fabric.Config) *Kernel {
+	k := &Kernel{
+		eng: eng,
+		fab: fabric.New(eng, n, cfg),
+	}
+	k.images = make([]*ImageKernel, n)
+	for i := 0; i < n; i++ {
+		img := &ImageKernel{
+			k:     k,
+			rank:  i,
+			ep:    k.fab.Endpoint(i),
+			rng:   eng.DeriveRand(int64(i)),
+			calls: make(map[uint64]*callWait),
+		}
+		k.images[i] = img
+		img.ep.RegisterHandler(tagReply, func(ep *fabric.Endpoint, m *fabric.Msg) {
+			img.handleReply(m)
+		})
+	}
+	return k
+}
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Fabric returns the communication fabric.
+func (k *Kernel) Fabric() *fabric.Fabric { return k.fab }
+
+// NumImages reports the machine size.
+func (k *Kernel) NumImages() int { return len(k.images) }
+
+// Image returns image kernel i.
+func (k *Kernel) Image(i int) *ImageKernel { return k.images[i] }
+
+// SetTracker installs the message-lifecycle tracker (the finish plane).
+func (k *Kernel) SetTracker(t Tracker) { k.tracker = t }
+
+// Tracker returns the installed tracker, or nil.
+func (k *Kernel) Tracker() Tracker { return k.tracker }
+
+// NextID returns a machine-wide unique id (team ids, finish ids). It is
+// safe because the simulation is single-threaded.
+func (k *Kernel) NextID() int64 {
+	k.nextID++
+	return k.nextID
+}
+
+// RegisterHandler installs h for tag on every image. Panics on duplicate
+// tags or rt-reserved tags.
+func (k *Kernel) RegisterHandler(tag uint16, h Handler) {
+	if tag == tagReply {
+		panic(fmt.Sprintf("rt: tag %d is reserved", tag))
+	}
+	for _, img := range k.images {
+		img := img
+		img.ep.RegisterHandler(tag, func(ep *fabric.Endpoint, m *fabric.Msg) {
+			img.dispatch(m, h)
+		})
+	}
+}
+
+// ImageKernel is one process image's runtime state.
+type ImageKernel struct {
+	k    *Kernel
+	rank int
+	ep   *fabric.Endpoint
+	rng  *rand.Rand
+
+	nextCallID uint64
+	calls      map[uint64]*callWait
+
+	procSeq int // names for procs spawned on this image
+}
+
+// Rank returns the image's world rank.
+func (img *ImageKernel) Rank() int { return img.rank }
+
+// Kernel returns the owning machine.
+func (img *ImageKernel) Kernel() *Kernel { return img.k }
+
+// Rng returns the image's deterministic private random stream.
+func (img *ImageKernel) Rng() *rand.Rand { return img.rng }
+
+// Engine returns the simulation engine.
+func (img *ImageKernel) Engine() *sim.Engine { return img.k.eng }
+
+// Endpoint returns the image's fabric endpoint.
+func (img *ImageKernel) Endpoint() *fabric.Endpoint { return img.ep }
+
+// Go starts a simulated process on this image.
+func (img *ImageKernel) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	img.procSeq++
+	return img.k.eng.Go(fmt.Sprintf("img%d/%s#%d", img.rank, name, img.procSeq), fn)
+}
+
+// SendOpts mirror fabric completion callbacks plus the tracking context.
+type SendOpts struct {
+	Track       any    // finish-plane context; nil = untracked
+	OnInjected  func() // source buffer reusable (local data completion)
+	OnDelivered func() // delivery ack returned (local op completion)
+	Class       fabric.Class
+	Bytes       int
+}
+
+// Send delivers payload to handler tag on image dst.
+func (img *ImageKernel) Send(dst int, tag uint16, payload any, opts SendOpts) {
+	e := &env{payload: payload, replyTo: -1}
+	if opts.Track != nil {
+		if tr := img.k.tracker; tr != nil {
+			e.track = tr.OnSend(img, opts.Track)
+		}
+	}
+	img.sendEnv(dst, tag, e, opts)
+}
+
+func (img *ImageKernel) sendEnv(dst int, tag uint16, e *env, opts SendOpts) {
+	onDelivered := opts.OnDelivered
+	if e.track != nil {
+		tr := img.k.tracker
+		prev := onDelivered
+		onDelivered = func() {
+			tr.OnAck(img, e.track)
+			if prev != nil {
+				prev()
+			}
+		}
+	}
+	img.ep.Send(&fabric.Msg{
+		Src:     img.rank,
+		Dst:     dst,
+		Tag:     tag,
+		Class:   opts.Class,
+		Bytes:   opts.Bytes,
+		Payload: e,
+	}, fabric.SendOpts{
+		OnInjected:  opts.OnInjected,
+		OnDelivered: onDelivered,
+	})
+}
+
+// Delivery is the receiving-side view of one message.
+type Delivery struct {
+	Img     *ImageKernel // the destination image
+	Src     int          // sender world rank
+	Payload any
+	Bytes   int
+
+	track    any
+	detached bool
+	done     bool
+	replyTo  int
+	replyID  uint64
+	replied  bool
+}
+
+// Track returns the message's (stamped) tracking context, or nil.
+func (d *Delivery) Track() any { return d.track }
+
+// Detach tells rt that completion will be signalled later via Complete —
+// used by shipped functions that run as their own simulated process.
+func (d *Delivery) Detach() { d.detached = true }
+
+// Complete signals completion of a detached delivery. Calling it twice,
+// or on a non-detached delivery, panics.
+func (d *Delivery) Complete() {
+	if !d.detached {
+		panic("rt: Complete on non-detached delivery")
+	}
+	d.finishCompletion()
+}
+
+func (d *Delivery) finishCompletion() {
+	if d.done {
+		panic("rt: duplicate completion")
+	}
+	d.done = true
+	if d.track != nil {
+		if tr := d.Img.k.tracker; tr != nil {
+			tr.OnComplete(d.Img, d.track)
+		}
+	}
+}
+
+// CanReply reports whether the sender awaits a reply.
+func (d *Delivery) CanReply() bool { return d.replyTo >= 0 && !d.replied }
+
+// Reply sends a response for a Call. Panics if the message was not a Call
+// or was already replied to.
+func (d *Delivery) Reply(payload any, bytes int) {
+	if d.replyTo < 0 {
+		panic("rt: Reply to a one-way message")
+	}
+	if d.replied {
+		panic("rt: duplicate Reply")
+	}
+	d.replied = true
+	class := fabric.AMMedium
+	if bytes > d.Img.k.fab.MaxMedium() {
+		class = fabric.RDMA
+	}
+	d.Img.Send(d.replyTo, tagReply, replyMsg{id: d.replyID, payload: payload}, SendOpts{
+		Class: class,
+		Bytes: bytes,
+	})
+}
+
+func (img *ImageKernel) dispatch(m *fabric.Msg, h Handler) {
+	e := m.Payload.(*env)
+	d := &Delivery{
+		Img:     img,
+		Src:     m.Src,
+		Payload: e.payload,
+		Bytes:   m.Bytes,
+		track:   e.track,
+		replyTo: e.replyTo,
+		replyID: e.replyID,
+	}
+	if e.track != nil {
+		if tr := img.k.tracker; tr != nil {
+			d.track = tr.OnReceive(img, e.track)
+		}
+	}
+	h(d)
+	if !d.detached {
+		d.finishCompletion()
+	}
+}
+
+type replyMsg struct {
+	id      uint64
+	payload any
+}
+
+type callWait struct {
+	proc    *sim.Proc
+	payload any
+	done    bool
+}
+
+func (img *ImageKernel) handleReply(m *fabric.Msg) {
+	e := m.Payload.(*env)
+	r := e.payload.(replyMsg)
+	w, ok := img.calls[r.id]
+	if !ok {
+		panic(fmt.Sprintf("rt: image %d: reply for unknown call %d", img.rank, r.id))
+	}
+	delete(img.calls, r.id)
+	w.payload = r.payload
+	w.done = true
+	w.proc.Unpark()
+}
+
+// Call performs a blocking request/reply round trip from process p on this
+// image to handler tag on image dst, returning the reply payload. The
+// handler must call Delivery.Reply (possibly later, from a detached proc).
+func (img *ImageKernel) Call(p *sim.Proc, dst int, tag uint16, payload any, opts SendOpts) any {
+	img.nextCallID++
+	id := img.nextCallID
+	w := &callWait{proc: p}
+	img.calls[id] = w
+	e := &env{payload: payload, replyTo: img.rank, replyID: id}
+	if opts.Track != nil {
+		if tr := img.k.tracker; tr != nil {
+			e.track = tr.OnSend(img, opts.Track)
+		}
+	}
+	img.sendEnv(dst, tag, e, opts)
+	p.WaitUntil("rpc reply", func() bool { return w.done })
+	return w.payload
+}

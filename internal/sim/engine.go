@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Engine is a deterministic discrete-event simulator.
+//
+// Exactly one strand of execution — either an event callback or a simulated
+// process (Proc) — runs at any moment; the engine goroutine and process
+// goroutines hand control back and forth over unbuffered channels. Because
+// all ties in the event queue are broken by schedule order and all
+// randomness flows from the engine's seeded generator, runs are bit-for-bit
+// reproducible.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	yield   chan struct{} // running proc -> engine handoff
+	current *Proc
+	procs   []*Proc
+	live    int
+
+	rng       *rand.Rand
+	seed      int64
+	eventsRun uint64
+	stopped   bool
+	procErr   error // first panic captured from a proc
+}
+
+// NewEngine returns an engine whose randomness derives from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// EventsRun reports how many events have executed so far.
+func (e *Engine) EventsRun() uint64 { return e.eventsRun }
+
+// Rand returns the engine's deterministic random generator. It must only
+// be used from within the simulation (events or procs), never concurrently.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// DeriveRand returns an independent generator seeded deterministically from
+// the engine seed and id, for per-image random streams.
+func (e *Engine) DeriveRand(id int64) *rand.Rand {
+	return rand.New(rand.NewSource(e.seed*0x9E3779B1 + id*0x85EBCA77 + 0x165667B1))
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; Run may be called again to resume.
+func (e *Engine) Stop() { e.stopped = true }
+
+// DeadlockError is returned by Run when no events remain but live
+// processes are still blocked.
+type DeadlockError struct {
+	Now    Time
+	Parked []string // descriptions of the blocked processes
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d blocked proc(s): %s",
+		d.Now, len(d.Parked), strings.Join(d.Parked, ", "))
+}
+
+// Run executes events until the queue drains, Stop is called, or a process
+// panics. If the queue drains while processes remain blocked, Run returns
+// a *DeadlockError describing them.
+func (e *Engine) Run() error { return e.RunUntil(Forever) }
+
+// RunUntil executes events with timestamps ≤ limit. On return the clock
+// reads min(limit, time of last event) unless the queue drained first.
+func (e *Engine) RunUntil(limit Time) error {
+	e.stopped = false
+	for e.events.Len() > 0 && !e.stopped {
+		if e.events.peekTime() > limit {
+			e.now = limit
+			return nil
+		}
+		ev := e.events.pop()
+		e.now = ev.at
+		e.eventsRun++
+		ev.fn()
+		if e.procErr != nil {
+			return e.procErr
+		}
+	}
+	if e.stopped {
+		return nil
+	}
+	if e.live > 0 {
+		var parked []string
+		for _, p := range e.procs {
+			if p.state != procDone {
+				parked = append(parked, p.describe())
+			}
+		}
+		sort.Strings(parked)
+		return &DeadlockError{Now: e.now, Parked: parked}
+	}
+	return nil
+}
+
+// Idle reports whether no events are pending and no processes are live.
+func (e *Engine) Idle() bool { return e.events.Len() == 0 && e.live == 0 }
+
+// LiveProcs reports the number of processes that have not finished.
+func (e *Engine) LiveProcs() int { return e.live }
+
+// Shutdown aborts all live processes so their goroutines exit. It must be
+// called from outside the simulation (after Run returns), typically via
+// defer in tests that abandon a simulation mid-flight.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		if p.state == procDone {
+			continue
+		}
+		p.aborted = true
+		e.current = p
+		p.resume <- struct{}{}
+		<-e.yield
+		e.current = nil
+	}
+}
+
+// resumeProc transfers control to p until it yields back.
+func (e *Engine) resumeProc(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.current = prev
+}
+
+// Current returns the process currently executing, or nil when the engine
+// is running a plain event callback.
+func (e *Engine) Current() *Proc { return e.current }

@@ -1,0 +1,233 @@
+package sim
+
+import "fmt"
+
+type procState uint8
+
+const (
+	procNew procState = iota
+	procRunning
+	procParked
+	procSleeping
+	procDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case procNew:
+		return "new"
+	case procRunning:
+		return "running"
+	case procParked:
+		return "parked"
+	case procSleeping:
+		return "sleeping"
+	case procDone:
+		return "done"
+	}
+	return "?"
+}
+
+// procAbort is the panic payload used by Engine.Shutdown to unwind procs.
+type procAbort struct{}
+
+// Proc is a simulated process: a goroutine that runs only when the engine
+// hands it control, and that advances virtual time via Sleep/Park rather
+// than real blocking. All Proc methods must be called from the proc's own
+// goroutine, except Unpark, which is called by whoever wakes it.
+type Proc struct {
+	eng  *Engine
+	id   int
+	name string
+
+	resume chan struct{}
+	state  procState
+
+	wakePending bool // an unpark event is already queued
+	permit      bool // a stored unpark for a proc not currently parked
+	aborted     bool
+	blockReason string
+}
+
+// Go creates a process named name and schedules it to start immediately.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoAt(e.now, name, fn)
+}
+
+// GoAt creates a process that starts at virtual time t.
+func (e *Engine) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  procNew,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go p.run(fn)
+	e.At(t, func() {
+		if p.aborted {
+			return
+		}
+		p.state = procRunning
+		e.resumeProc(p)
+	})
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	<-p.resume
+	defer func() {
+		r := recover()
+		if _, ok := r.(procAbort); ok {
+			r = nil
+		} else if r != nil && p.eng.procErr == nil {
+			p.eng.procErr = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+		}
+		p.state = procDone
+		p.eng.live--
+		p.eng.yield <- struct{}{}
+	}()
+	if p.aborted {
+		panic(procAbort{})
+	}
+	fn(p)
+}
+
+// ID returns the process id, unique within its engine.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+func (p *Proc) describe() string {
+	s := fmt.Sprintf("%s[%d] %s", p.name, p.id, p.state)
+	if p.blockReason != "" {
+		s += " (" + p.blockReason + ")"
+	}
+	return s
+}
+
+// yieldToEngine parks the goroutine and gives control back to the engine
+// loop, returning when the engine resumes this proc.
+func (p *Proc) yieldToEngine() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.aborted {
+		panic(procAbort{})
+	}
+}
+
+// Sleep advances this process's virtual time by d, letting other events run.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Even a zero-length sleep is a scheduling point: it lets
+		// same-timestamp events queued earlier run first.
+		d = 0
+	}
+	p.state = procSleeping
+	p.eng.After(d, func() {
+		if p.aborted || p.state != procSleeping {
+			return
+		}
+		p.state = procRunning
+		p.eng.resumeProc(p)
+	})
+	p.yieldToEngine()
+}
+
+// Park blocks the process until another strand calls Unpark. If an unpark
+// permit is already stored (Unpark ran while this proc was not parked),
+// Park consumes it and returns immediately. Callers waiting on a condition
+// must re-check it in a loop: wakeups may be spurious when a proc waits on
+// several sources.
+func (p *Proc) Park(reason string) {
+	if p.permit {
+		p.permit = false
+		return
+	}
+	p.state = procParked
+	p.blockReason = reason
+	p.yieldToEngine()
+	p.blockReason = ""
+}
+
+// Unpark wakes p if it is parked, or stores a permit so p's next Park
+// returns immediately. Safe to call from event callbacks or other procs;
+// the wake is delivered as a same-time event, preserving determinism.
+func (p *Proc) Unpark() {
+	switch p.state {
+	case procParked:
+		if p.wakePending {
+			return
+		}
+		p.wakePending = true
+		p.eng.At(p.eng.now, func() {
+			p.wakePending = false
+			if p.aborted || p.state != procParked {
+				// Woken by something else in the meantime; convert
+				// this wake into a permit so it is not lost.
+				if p.state != procDone {
+					p.permit = true
+				}
+				return
+			}
+			p.state = procRunning
+			p.eng.resumeProc(p)
+		})
+	case procDone:
+		// nothing to wake
+	default:
+		p.permit = true
+	}
+}
+
+// WaitUntil parks the process until cond() holds. The waker must call
+// Unpark (directly or via a Cond) whenever the condition may have changed.
+func (p *Proc) WaitUntil(reason string, cond func() bool) {
+	for !cond() {
+		p.Park(reason)
+	}
+}
+
+// Cond is a condition-variable analogue for simulated processes.
+// The zero value is ready to use.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait enqueues p and parks it. Like sync.Cond, callers must re-check
+// their predicate in a loop around Wait.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.Park("cond wait")
+}
+
+// Signal wakes one waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.Unpark()
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.Unpark()
+	}
+}
+
+// Waiters reports how many procs are queued on the Cond.
+func (c *Cond) Waiters() int { return len(c.waiters) }

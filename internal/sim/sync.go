@@ -1,0 +1,130 @@
+package sim
+
+// Synchronization primitives for simulated processes, analogous to the
+// sync package but advancing virtual time instead of blocking OS threads.
+// All methods must be called from within the simulation (procs or event
+// callbacks, as documented per method).
+
+// Mutex is a mutual-exclusion lock for procs. The zero value is unlocked.
+// Waiters acquire in FIFO order.
+type Mutex struct {
+	held    bool
+	waiters []*Proc
+}
+
+// Lock acquires the mutex, parking p until available.
+func (m *Mutex) Lock(p *Proc) {
+	for m.held {
+		m.waiters = append(m.waiters, p)
+		p.Park("mutex")
+	}
+	m.held = true
+}
+
+// TryLock acquires the mutex if free.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases the mutex and wakes the first waiter. It may be called
+// from any simulation strand, not only the locking proc (CAF-style locks
+// are not owner-checked).
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("sim: unlock of unlocked Mutex")
+	}
+	m.held = false
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w.Unpark()
+	}
+}
+
+// Locked reports whether the mutex is held.
+func (m *Mutex) Locked() bool { return m.held }
+
+// Semaphore is a counting semaphore. Construct with NewSemaphore.
+type Semaphore struct {
+	count   int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(initial int) *Semaphore {
+	if initial < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{count: initial}
+}
+
+// Acquire takes one unit, parking p until available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.count == 0 {
+		s.waiters = append(s.waiters, p)
+		p.Park("semaphore")
+	}
+	s.count--
+}
+
+// TryAcquire takes one unit if available.
+func (s *Semaphore) TryAcquire() bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release returns one unit and wakes one waiter. Callable from any
+// simulation strand.
+func (s *Semaphore) Release() {
+	s.count++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.Unpark()
+	}
+}
+
+// Count reports the available units.
+func (s *Semaphore) Count() int { return s.count }
+
+// WaitGroup tracks a set of simulated tasks. The zero value is ready.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// Add adjusts the outstanding-task count; panics if it goes negative.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, w := range ws {
+			w.Unpark()
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait parks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.Park("waitgroup")
+	}
+}
+
+// Pending reports the outstanding-task count.
+func (wg *WaitGroup) Pending() int { return wg.count }

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestMutexMutualExclusion(t *testing.T) {
+	e := NewEngine(1)
+	var mu Mutex
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for iter := 0; iter < 4; iter++ {
+				mu.Lock(p)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				p.Sleep(10 * Microsecond)
+				inside--
+				mu.Unlock()
+				p.Sleep(Microsecond)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Errorf("max procs in critical section = %d", maxInside)
+	}
+	if mu.Locked() {
+		t.Error("mutex still held at end")
+	}
+}
+
+func TestMutexTryLockAndUnlockPanic(t *testing.T) {
+	var mu Mutex
+	if !mu.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if mu.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	mu.Unlock()
+	defer func() {
+		if recover() == nil {
+			t.Error("double unlock did not panic")
+		}
+	}()
+	mu.Unlock()
+}
+
+func TestMutexFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var mu Mutex
+	var order []int
+	e.Go("holder", func(p *Proc) {
+		mu.Lock(p)
+		p.Sleep(100)
+		mu.Unlock()
+	})
+	for i := 0; i < 4; i++ {
+		i := i
+		e.GoAt(Time(10+i), fmt.Sprintf("w%d", i), func(p *Proc) {
+			mu.Lock(p)
+			order = append(order, i)
+			p.Sleep(5)
+			mu.Unlock()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("acquisition order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine(1)
+	sem := NewSemaphore(2)
+	inside, maxInside := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go("w", func(p *Proc) {
+			sem.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(50)
+			inside--
+			sem.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 2 {
+		t.Errorf("max concurrency = %d, want 2", maxInside)
+	}
+	if sem.Count() != 2 {
+		t.Errorf("final count = %d", sem.Count())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	sem := NewSemaphore(1)
+	if !sem.TryAcquire() {
+		t.Fatal("TryAcquire failed with units available")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("TryAcquire succeeded at zero")
+	}
+	sem.Release()
+	if sem.Count() != 1 {
+		t.Errorf("count = %d", sem.Count())
+	}
+}
+
+func TestNewSemaphoreNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative semaphore did not panic")
+		}
+	}()
+	NewSemaphore(-1)
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine(1)
+	var wg WaitGroup
+	doneWorkers := 0
+	var waitedAt Time
+	wg.Add(3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(Time(10 * (i + 1)))
+			doneWorkers++
+			wg.Done()
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		waitedAt = p.Now()
+		if doneWorkers != 3 {
+			t.Errorf("wait returned with %d workers done", doneWorkers)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waitedAt != 30 {
+		t.Errorf("waiter resumed at %v, want 30", waitedAt)
+	}
+	if wg.Pending() != 0 {
+		t.Errorf("pending = %d", wg.Pending())
+	}
+}
+
+func TestWaitGroupZeroWaitReturnsImmediately(t *testing.T) {
+	e := NewEngine(1)
+	returned := false
+	e.Go("waiter", func(p *Proc) {
+		var wg WaitGroup
+		wg.Wait(p)
+		returned = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !returned {
+		t.Fatal("Wait on zero WaitGroup blocked")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	var wg WaitGroup
+	defer func() {
+		if recover() == nil {
+			t.Error("negative WaitGroup did not panic")
+		}
+	}()
+	wg.Done()
+}
+
+// Property: for any interleaving of lock/unlock spans, mutual exclusion
+// holds and every locker eventually runs.
+func TestPropertyMutexSerializes(t *testing.T) {
+	prop := func(seed int64, nRaw, durRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		e := NewEngine(seed)
+		var mu Mutex
+		inside := 0
+		violated := false
+		completed := 0
+		for i := 0; i < n; i++ {
+			i := i
+			e.GoAt(Time(i%3), "p", func(p *Proc) {
+				mu.Lock(p)
+				inside++
+				if inside != 1 {
+					violated = true
+				}
+				p.Sleep(Time(durRaw%50) + 1)
+				inside--
+				mu.Unlock()
+				completed++
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return !violated && completed == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package team implements CAF 2.0 teams: first-class, ordered process
+// subsets that scope coarray allocation, rank naming, and collective
+// communication (paper §II-A). The package is pure computation — the
+// runtime layer drives the collective team_split protocol and shares the
+// resulting Team values across images.
+package team
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Team is an immutable ordered set of world ranks. Rank i of the team is
+// Members()[i]. All images in a team hold the same Team value.
+type Team struct {
+	id      int64
+	members []int
+	index   map[int]int // world rank -> team rank
+}
+
+// New builds a team from world ranks in the given order. It panics on
+// duplicate members: a process image can appear in a team at most once.
+func New(id int64, members []int) *Team {
+	t := &Team{id: id, members: append([]int(nil), members...), index: make(map[int]int, len(members))}
+	for i, w := range t.members {
+		if _, dup := t.index[w]; dup {
+			panic(fmt.Sprintf("team: duplicate member %d", w))
+		}
+		t.index[w] = i
+	}
+	return t
+}
+
+// World returns the initial team containing images 0..n-1, i.e.
+// team_world in CAF 2.0. Its id is 0 by convention.
+func World(n int) *Team {
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	return New(0, members)
+}
+
+// ID returns the team's globally unique identifier.
+func (t *Team) ID() int64 { return t.id }
+
+// Size returns the number of member images.
+func (t *Team) Size() int { return len(t.members) }
+
+// Members returns the world ranks in team-rank order. The caller must not
+// modify the returned slice.
+func (t *Team) Members() []int { return t.members }
+
+// Rank translates a world rank to this team's rank space.
+func (t *Team) Rank(world int) (int, bool) {
+	r, ok := t.index[world]
+	return r, ok
+}
+
+// MustRank is Rank for callers that know world is a member.
+func (t *Team) MustRank(world int) int {
+	r, ok := t.index[world]
+	if !ok {
+		panic(fmt.Sprintf("team %d: image %d is not a member", t.id, world))
+	}
+	return r
+}
+
+// WorldRank translates a team rank to a world rank.
+func (t *Team) WorldRank(teamRank int) int {
+	return t.members[teamRank]
+}
+
+// Contains reports whether world is a member.
+func (t *Team) Contains(world int) bool {
+	_, ok := t.index[world]
+	return ok
+}
+
+// SubsetOf reports whether every member of t is also a member of u.
+// finish requires the team of an enclosed asynchronous collective to be
+// the same team or a subset of the finish team (paper §III-A1).
+func (t *Team) SubsetOf(u *Team) bool {
+	for _, w := range t.members {
+		if !u.Contains(w) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Team) String() string {
+	return fmt.Sprintf("team(id=%d, size=%d)", t.id, len(t.members))
+}
+
+// SplitSpec is one image's (color, key) contribution to a team_split.
+type SplitSpec struct {
+	World int // world rank of the contributing image
+	Color int // images with equal color land in the same new team
+	Key   int // orders ranks within the new team (ties broken by world rank)
+}
+
+// Split partitions a parent team according to per-member specs, mirroring
+// team_split. It returns one new team per distinct color, keyed by color.
+// Team ids are derived deterministically from baseID and the color's index
+// in sorted color order, so every image computes identical ids. Every
+// member of parent must appear in specs exactly once.
+func Split(parent *Team, specs []SplitSpec, baseID int64) map[int]*Team {
+	if len(specs) != parent.Size() {
+		panic(fmt.Sprintf("team: split of %v got %d specs", parent, len(specs)))
+	}
+	seen := make(map[int]bool, len(specs))
+	byColor := make(map[int][]SplitSpec)
+	for _, s := range specs {
+		if !parent.Contains(s.World) {
+			panic(fmt.Sprintf("team: split spec for non-member %d", s.World))
+		}
+		if seen[s.World] {
+			panic(fmt.Sprintf("team: duplicate split spec for %d", s.World))
+		}
+		seen[s.World] = true
+		byColor[s.Color] = append(byColor[s.Color], s)
+	}
+	colors := make([]int, 0, len(byColor))
+	for c := range byColor {
+		colors = append(colors, c)
+	}
+	sort.Ints(colors)
+	out := make(map[int]*Team, len(colors))
+	for ci, c := range colors {
+		group := byColor[c]
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].Key != group[j].Key {
+				return group[i].Key < group[j].Key
+			}
+			return group[i].World < group[j].World
+		})
+		members := make([]int, len(group))
+		for i, s := range group {
+			members[i] = s.World
+		}
+		out[c] = New(baseID+int64(ci), members)
+	}
+	return out
+}
+
+// HypercubeNeighbors returns the team ranks at offsets 2^0, 2^1, …,
+// 2^⌈log2 size⌉ from rank (xor addressing), the lifeline graph used by the
+// UTS implementation (paper §IV-C2c). Offsets that land outside the team
+// are skipped.
+func HypercubeNeighbors(rank, size int) []int {
+	var out []int
+	for bit := 1; bit < size; bit <<= 1 {
+		n := rank ^ bit
+		if n < size {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package team
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorld(t *testing.T) {
+	w := World(4)
+	if w.ID() != 0 || w.Size() != 4 {
+		t.Fatalf("world = %v", w)
+	}
+	for i := 0; i < 4; i++ {
+		if r, ok := w.Rank(i); !ok || r != i {
+			t.Errorf("Rank(%d) = %d,%v", i, r, ok)
+		}
+		if w.WorldRank(i) != i {
+			t.Errorf("WorldRank(%d) = %d", i, w.WorldRank(i))
+		}
+	}
+	if _, ok := w.Rank(4); ok {
+		t.Error("Rank(4) should not exist")
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate member did not panic")
+		}
+	}()
+	New(1, []int{0, 1, 1})
+}
+
+func TestMustRankPanicsForNonMember(t *testing.T) {
+	w := New(1, []int{2, 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRank on non-member did not panic")
+		}
+	}()
+	w.MustRank(3)
+}
+
+func TestSubsetOf(t *testing.T) {
+	w := World(8)
+	even := New(1, []int{0, 2, 4, 6})
+	if !even.SubsetOf(w) {
+		t.Error("even ⊄ world")
+	}
+	if w.SubsetOf(even) {
+		t.Error("world ⊂ even")
+	}
+	if !even.SubsetOf(even) {
+		t.Error("team not subset of itself")
+	}
+}
+
+func TestSplitByParity(t *testing.T) {
+	w := World(6)
+	specs := make([]SplitSpec, 6)
+	for i := 0; i < 6; i++ {
+		specs[i] = SplitSpec{World: i, Color: i % 2, Key: -i} // reverse order by key
+	}
+	teams := Split(w, specs, 100)
+	if len(teams) != 2 {
+		t.Fatalf("got %d teams", len(teams))
+	}
+	evens, odds := teams[0], teams[1]
+	wantEven := []int{4, 2, 0} // key = -i sorts descending i
+	for i, m := range evens.Members() {
+		if m != wantEven[i] {
+			t.Errorf("even members = %v, want %v", evens.Members(), wantEven)
+			break
+		}
+	}
+	if odds.Size() != 3 {
+		t.Errorf("odd team size = %d", odds.Size())
+	}
+	if evens.ID() == odds.ID() {
+		t.Error("split teams share an id")
+	}
+	if evens.ID() != 100 || odds.ID() != 101 {
+		t.Errorf("ids = %d,%d want 100,101 (deterministic)", evens.ID(), odds.ID())
+	}
+}
+
+func TestSplitKeyTiesBrokenByWorldRank(t *testing.T) {
+	w := World(4)
+	specs := []SplitSpec{
+		{World: 3, Color: 0, Key: 5},
+		{World: 1, Color: 0, Key: 5},
+		{World: 0, Color: 0, Key: 5},
+		{World: 2, Color: 0, Key: 5},
+	}
+	teams := Split(w, specs, 10)
+	got := teams[0].Members()
+	for i, m := range got {
+		if m != i {
+			t.Fatalf("tie-broken members = %v, want ascending world ranks", got)
+		}
+	}
+}
+
+func TestSplitRejectsBadSpecs(t *testing.T) {
+	w := World(3)
+	cases := [][]SplitSpec{
+		{{World: 0}, {World: 1}},                         // missing member
+		{{World: 0}, {World: 1}, {World: 1}},             // duplicate
+		{{World: 0}, {World: 1}, {World: 7}},             // non-member
+		{{World: 0}, {World: 1}, {World: 2}, {World: 2}}, // extra
+	}
+	for i, specs := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad split did not panic", i)
+				}
+			}()
+			Split(w, specs, 1)
+		}()
+	}
+}
+
+func TestHypercubeNeighbors(t *testing.T) {
+	got := HypercubeNeighbors(0, 8)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("neighbors(0,8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors(0,8) = %v, want %v", got, want)
+		}
+	}
+	// Non-power-of-two: offsets landing outside are dropped.
+	got = HypercubeNeighbors(5, 6)
+	want = []int{4, 1} // 5^1=4, 5^2=7 (out), 5^4=1
+	if len(got) != 2 || got[0] != 4 || got[1] != 1 {
+		t.Fatalf("neighbors(5,6) = %v, want %v", got, want)
+	}
+}
+
+// Property: lifeline graph is symmetric and connected for power-of-two
+// sizes — every image can be reached through lifelines, which is what
+// makes lifeline-based work distribution cover the whole machine.
+func TestPropertyHypercubeConnectivity(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 8, 16, 64, 256} {
+		adj := make([][]int, size)
+		for r := 0; r < size; r++ {
+			adj[r] = HypercubeNeighbors(r, size)
+		}
+		// Symmetry.
+		for r, ns := range adj {
+			for _, n := range ns {
+				found := false
+				for _, back := range adj[n] {
+					if back == r {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("size %d: edge %d->%d not symmetric", size, r, n)
+				}
+			}
+		}
+		// Connectivity (BFS from 0).
+		seen := make([]bool, size)
+		queue := []int{0}
+		seen[0] = true
+		count := 1
+		for len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			for _, n := range adj[r] {
+				if !seen[n] {
+					seen[n] = true
+					count++
+					queue = append(queue, n)
+				}
+			}
+		}
+		if count != size {
+			t.Fatalf("size %d: lifeline graph reaches %d of %d images", size, count, size)
+		}
+	}
+}
+
+// Property: Split partitions the parent — every member lands in exactly
+// one team, ranks are consistent, and ids are unique.
+func TestPropertySplitPartitions(t *testing.T) {
+	prop := func(colorsIn []uint8) bool {
+		n := len(colorsIn)
+		if n == 0 {
+			return true
+		}
+		w := World(n)
+		specs := make([]SplitSpec, n)
+		for i, c := range colorsIn {
+			specs[i] = SplitSpec{World: i, Color: int(c % 5), Key: int(c)}
+		}
+		teams := Split(w, specs, 50)
+		var all []int
+		ids := make(map[int64]bool)
+		for _, tm := range teams {
+			if ids[tm.ID()] {
+				return false
+			}
+			ids[tm.ID()] = true
+			for tr, wr := range tm.Members() {
+				if tm.MustRank(wr) != tr || tm.WorldRank(tr) != wr {
+					return false
+				}
+				all = append(all, wr)
+			}
+			if !tm.SubsetOf(w) {
+				return false
+			}
+		}
+		if len(all) != n {
+			return false
+		}
+		sort.Ints(all)
+		for i, v := range all {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package trace records simulation activity — spans and instants on
+// virtual time, attributed to process images — and exports it in the
+// Chrome trace-event format (load via chrome://tracing or Perfetto) or
+// as an aggregate summary. The caf runtime emits into a Recorder when
+// tracing is enabled on the machine config; applications may add their
+// own spans through the same API.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"caf2go/internal/sim"
+)
+
+// Event is one recorded trace event.
+type Event struct {
+	Name  string
+	Cat   string
+	Image int // attributed process image (Chrome pid)
+	Tid   int // strand within the image (0 = main)
+	Start sim.Time
+	Dur   sim.Time // 0 for instants
+	Inst  bool
+}
+
+// Recorder accumulates events up to a capacity. The zero value is a
+// disabled recorder: all methods are cheap no-ops.
+type Recorder struct {
+	events    []Event
+	capacity  int
+	truncated bool
+	enabled   bool
+}
+
+// NewRecorder returns a recorder holding at most capacity events
+// (further events are dropped and Truncated reports true).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Recorder{capacity: capacity, enabled: true}
+}
+
+// Enabled reports whether the recorder accepts events.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Truncated reports whether events were dropped at capacity.
+func (r *Recorder) Truncated() bool { return r != nil && r.truncated }
+
+func (r *Recorder) add(e Event) {
+	if !r.Enabled() {
+		return
+	}
+	if len(r.events) >= r.capacity {
+		r.truncated = true
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Span records a duration event on an image.
+func (r *Recorder) Span(image, tid int, name, cat string, start, dur sim.Time) {
+	r.add(Event{Name: name, Cat: cat, Image: image, Tid: tid, Start: start, Dur: dur})
+}
+
+// Instant records a point event on an image.
+func (r *Recorder) Instant(image int, name, cat string, at sim.Time) {
+	r.add(Event{Name: name, Cat: cat, Image: image, Start: at, Inst: true})
+}
+
+// Events returns the recorded events (do not modify).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// chromeEvent is the Chrome trace-event JSON shape.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"` // microseconds
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"` // instant scope
+}
+
+// WriteChromeTrace writes the events as a Chrome trace JSON array.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	out := make([]chromeEvent, 0, r.Len())
+	for _, e := range r.Events() {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ts:   float64(e.Start) / 1e3,
+			Pid:  e.Image,
+			Tid:  e.Tid,
+		}
+		if e.Inst {
+			ce.Ph = "i"
+			ce.S = "p"
+		} else {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SummaryRow aggregates one event name.
+type SummaryRow struct {
+	Name  string
+	Count int
+	Total sim.Time
+}
+
+// Summary aggregates events by name, sorted by total duration
+// descending (instants sort by count).
+func (r *Recorder) Summary() []SummaryRow {
+	agg := make(map[string]*SummaryRow)
+	for _, e := range r.Events() {
+		row, ok := agg[e.Name]
+		if !ok {
+			row = &SummaryRow{Name: e.Name}
+			agg[e.Name] = row
+		}
+		row.Count++
+		row.Total += e.Dur
+	}
+	out := make([]SummaryRow, 0, len(agg))
+	for _, row := range agg {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteSummary prints the aggregate table.
+func (r *Recorder) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "%-32s %10s %14s\n", "event", "count", "total vtime")
+	for _, row := range r.Summary() {
+		fmt.Fprintf(w, "%-32s %10d %14s\n", row.Name, row.Count, row.Total)
+	}
+	if r.Truncated() {
+		fmt.Fprintln(w, "(trace truncated at capacity)")
+	}
+}

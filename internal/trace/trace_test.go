@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"caf2go/internal/sim"
+)
+
+func TestNilAndDisabledRecorderNoops(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() || r.Len() != 0 || r.Truncated() || r.Events() != nil {
+		t.Error("nil recorder not inert")
+	}
+	var zero Recorder
+	zero.Span(0, 0, "x", "c", 1, 2) // disabled zero value: must not record
+	if zero.Len() != 0 {
+		t.Error("zero-value recorder recorded")
+	}
+}
+
+func TestRecordAndSummarize(t *testing.T) {
+	r := NewRecorder(100)
+	r.Span(0, 0, "finish", "sync", 10, 30)
+	r.Span(1, 0, "finish", "sync", 12, 50)
+	r.Span(0, 1, "cofence", "sync", 5, 5)
+	r.Instant(2, "spawn", "ship", 7)
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	sum := r.Summary()
+	if sum[0].Name != "finish" || sum[0].Count != 2 || sum[0].Total != 80 {
+		t.Errorf("summary[0] = %+v", sum[0])
+	}
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	if !strings.Contains(sb.String(), "finish") || !strings.Contains(sb.String(), "spawn") {
+		t.Errorf("summary output:\n%s", sb.String())
+	}
+}
+
+func TestCapacityTruncation(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Instant(0, "e", "c", sim.Time(i))
+	}
+	if r.Len() != 2 || !r.Truncated() {
+		t.Errorf("len=%d truncated=%v", r.Len(), r.Truncated())
+	}
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	if !strings.Contains(sb.String(), "truncated") {
+		t.Error("summary does not mention truncation")
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	r := NewRecorder(10)
+	r.Span(3, 7, "work", "app", 1500, 2500) // ns -> 1.5us start, 2.5us dur
+	r.Instant(2, "tick", "app", 4000)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("events = %d", len(out))
+	}
+	span := out[0]
+	if span["ph"] != "X" || span["ts"] != 1.5 || span["dur"] != 2.5 ||
+		span["pid"] != float64(3) || span["tid"] != float64(7) {
+		t.Errorf("span = %v", span)
+	}
+	inst := out[1]
+	if inst["ph"] != "i" || inst["ts"] != 4.0 || inst["s"] != "p" {
+		t.Errorf("instant = %v", inst)
+	}
+}
+
+func TestSummaryOrdering(t *testing.T) {
+	r := NewRecorder(10)
+	r.Span(0, 0, "small", "c", 0, 1)
+	r.Span(0, 0, "big", "c", 0, 100)
+	r.Instant(0, "many", "c", 0)
+	r.Instant(0, "many", "c", 1)
+	sum := r.Summary()
+	if sum[0].Name != "big" {
+		t.Errorf("order: %+v", sum)
+	}
+	// Durations dominate; zero-duration instants sort after by count.
+	if sum[1].Name != "small" || sum[2].Name != "many" {
+		t.Errorf("tie order: %+v", sum)
+	}
+}

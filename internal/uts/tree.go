@@ -1,0 +1,189 @@
+// Package uts implements the Unbalanced Tree Search benchmark (Olivier et
+// al., LCPC'06) as used in the paper's §IV-C: SHA-1–derived node
+// descriptors, geometric and binomial child distributions, a sequential
+// counter, and a parallel CAF 2.0 implementation combining randomized
+// work stealing with Saraswat-style lifelines under a finish block
+// (paper Fig. 15).
+package uts
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"math"
+)
+
+// StateSize is the node descriptor width: a SHA-1 digest (20 bytes).
+const StateSize = sha1.Size
+
+// Node is one virtual tree node: its descriptor and depth. Children are
+// recomputed from the descriptor, so the tree needs no storage.
+type Node struct {
+	State [StateSize]byte
+	Depth int32
+}
+
+// Bytes is the modeled wire size of one node (descriptor + depth).
+const NodeBytes = StateSize + 4
+
+// Shape selects how the geometric branching factor varies with depth.
+type Shape uint8
+
+// Geometric shape functions from the UTS reference implementation.
+const (
+	ShapeLinear Shape = iota // b(d) = b0 · (1 − d/dmax)
+	ShapeExpDec              // b(d) = b0 · d^(−ln b0 / ln dmax)
+	ShapeFixed               // b(d) = b0 for d < dmax, else 0
+)
+
+// Kind selects the child-count distribution.
+type Kind uint8
+
+// Tree kinds.
+const (
+	Geometric Kind = iota
+	Binomial
+)
+
+// Spec describes a UTS tree.
+type Spec struct {
+	Kind     Kind
+	B0       float64 // expected branching factor at the root
+	MaxDepth int     // gen_mx
+	Shape    Shape
+	// Binomial parameters: a node has M children with probability Q,
+	// zero otherwise (root always has ⌈B0⌉).
+	Q float64
+	M int
+	// RootSeed seeds the root descriptor (the paper's runs use 19).
+	RootSeed int
+}
+
+// T1 is the standard small geometric tree (UTS documents ~4.1M nodes;
+// this implementation's SHA-1 state layout realizes ~2.6M — same shape,
+// different draw). UTS sample trees use the FIXED shape (-a 3).
+func T1() Spec {
+	return Spec{Kind: Geometric, B0: 4, MaxDepth: 10, Shape: ShapeFixed, RootSeed: 19}
+}
+
+// T1L is the large geometric tree (~100M-node class).
+func T1L() Spec {
+	return Spec{Kind: Geometric, B0: 4, MaxDepth: 13, Shape: ShapeFixed, RootSeed: 19}
+}
+
+// T1WL is the tree the paper evaluates (§IV-C3): geometric distribution,
+// expected branching 4, maximum depth 18, root seed 19 (~10^11-node
+// class). Far beyond a simulated single host; use Scaled for experiments
+// and keep the spec for fidelity.
+func T1WL() Spec {
+	return Spec{Kind: Geometric, B0: 4, MaxDepth: 18, Shape: ShapeFixed, RootSeed: 19}
+}
+
+// T3 is the standard binomial tree (~4.1M nodes).
+func T3() Spec {
+	return Spec{Kind: Binomial, B0: 2000, MaxDepth: 0, Q: 0.124875, M: 8, RootSeed: 42}
+}
+
+// Scaled returns a T1WL-shaped geometric spec with a reduced maximum
+// depth, preserving branching behaviour while shrinking the node count.
+func Scaled(maxDepth int) Spec {
+	s := T1WL()
+	s.MaxDepth = maxDepth
+	return s
+}
+
+// Root returns the root node for the spec.
+func (s Spec) Root() Node {
+	var seed [4]byte
+	binary.BigEndian.PutUint32(seed[:], uint32(s.RootSeed))
+	return Node{State: sha1.Sum(seed[:]), Depth: 0}
+}
+
+// Child derives child i of n (the rng_spawn of the UTS SHA-1 RNG).
+func Child(n Node, i int) Node {
+	var buf [StateSize + 4]byte
+	copy(buf[:], n.State[:])
+	binary.BigEndian.PutUint32(buf[StateSize:], uint32(i))
+	return Node{State: sha1.Sum(buf[:]), Depth: n.Depth + 1}
+}
+
+// rand31 extracts a positive 31-bit integer from the descriptor.
+func rand31(n Node) int32 {
+	return int32(binary.BigEndian.Uint32(n.State[:4]) & 0x7FFFFFFF)
+}
+
+// toProb maps a 31-bit integer to [0, 1).
+func toProb(v int32) float64 { return float64(v) / (1 << 31) }
+
+// NumChildren returns the child count of n under the spec.
+func (s Spec) NumChildren(n Node) int {
+	switch s.Kind {
+	case Geometric:
+		return s.numChildrenGeo(n)
+	case Binomial:
+		if n.Depth == 0 {
+			return int(math.Ceil(s.B0))
+		}
+		if toProb(rand31(n)) < s.Q {
+			return s.M
+		}
+		return 0
+	}
+	panic("uts: unknown tree kind")
+}
+
+func (s Spec) numChildrenGeo(n Node) int {
+	depth := int(n.Depth)
+	if depth >= s.MaxDepth {
+		return 0
+	}
+	b := s.B0
+	if depth > 0 {
+		switch s.Shape {
+		case ShapeLinear:
+			b = s.B0 * (1.0 - float64(depth)/float64(s.MaxDepth))
+		case ShapeExpDec:
+			b = s.B0 * math.Pow(float64(depth), -math.Log(s.B0)/math.Log(float64(s.MaxDepth)))
+		case ShapeFixed:
+			b = s.B0
+		}
+	}
+	p := 1.0 / (1.0 + b)
+	u := toProb(rand31(n))
+	children := int(math.Floor(math.Log(1-u) / math.Log(1-p)))
+	if children < 0 {
+		children = 0
+	}
+	return children
+}
+
+// SeqResult summarizes a sequential traversal.
+type SeqResult struct {
+	Nodes    int64
+	Leaves   int64
+	MaxDepth int
+}
+
+// CountSequential walks the whole tree depth-first on one thread — the
+// ground truth the parallel implementation must reproduce exactly, and
+// the T1 baseline for parallel-efficiency calculations (Fig. 17).
+func CountSequential(s Spec) SeqResult {
+	var res SeqResult
+	stack := []Node{s.Root()}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+		if d := int(n.Depth); d > res.MaxDepth {
+			res.MaxDepth = d
+		}
+		k := s.NumChildren(n)
+		if k == 0 {
+			res.Leaves++
+			continue
+		}
+		for i := 0; i < k; i++ {
+			stack = append(stack, Child(n, i))
+		}
+	}
+	return res
+}

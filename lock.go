@@ -1,0 +1,73 @@
+package caf
+
+import (
+	"fmt"
+
+	"caf2go/internal/fabric"
+	"caf2go/internal/rt"
+)
+
+// lockState is a simple remote lock hosted on one image. The PGAS
+// work-stealing baseline (paper Fig. 2) locks a victim's queue remotely;
+// this service provides that primitive.
+type lockState struct {
+	held  bool
+	queue []*rt.Delivery // blocked acquirers, FIFO
+}
+
+// Lock acquires lock id on the image with the given world rank, blocking
+// until granted. Locking a lock on the local image still round-trips
+// through the loopback path for cost fidelity.
+func (img *Image) Lock(rank, id int) {
+	img.st.kern.Call(img.proc, rank, tagLock, id, rt.SendOpts{
+		Class: fabric.AMShort,
+		Bytes: 16,
+	})
+}
+
+// Unlock releases lock id on the image with the given world rank. The
+// release is asynchronous (one-way message); FIFO fabric delivery keeps
+// lock/unlock pairs ordered.
+func (img *Image) Unlock(rank, id int) {
+	img.st.kern.Send(rank, tagUnlock, id, rt.SendOpts{
+		Class: fabric.AMShort,
+		Bytes: 16,
+	})
+}
+
+func (m *Machine) lockStateFor(rank, id int) *lockState {
+	st := m.states[rank]
+	ls, ok := st.locks[id]
+	if !ok {
+		ls = &lockState{}
+		st.locks[id] = ls
+	}
+	return ls
+}
+
+func (m *Machine) handleLock(d *rt.Delivery) {
+	ls := m.lockStateFor(d.Img.Rank(), d.Payload.(int))
+	if !ls.held {
+		ls.held = true
+		d.Reply(true, 8)
+		return
+	}
+	d.Detach()
+	ls.queue = append(ls.queue, d)
+}
+
+func (m *Machine) handleUnlock(d *rt.Delivery) {
+	ls := m.lockStateFor(d.Img.Rank(), d.Payload.(int))
+	if !ls.held {
+		panic(fmt.Sprintf("caf: unlock of lock %d on image %d that is not held",
+			d.Payload.(int), d.Img.Rank()))
+	}
+	if len(ls.queue) > 0 {
+		next := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		next.Reply(true, 8)
+		next.Complete()
+		return
+	}
+	ls.held = false
+}

@@ -1,0 +1,157 @@
+package caf
+
+import (
+	"caf2go/internal/core"
+	"caf2go/internal/fabric"
+	"caf2go/internal/rt"
+	"caf2go/internal/sim"
+)
+
+// SpawnFn is the body of a shipped function. It executes on the target
+// image in its own simulated process, with an Image bound to that target.
+// Values captured by the closure live in the simulation's shared address
+// space; to model CAF 2.0's copy-by-value argument passing (and have the
+// bytes charged to the network), pass data through WithPayload.
+type SpawnFn func(img *Image)
+
+// SpawnOpt configures one Spawn.
+type SpawnOpt func(*spawnOpts)
+
+type spawnOpts struct {
+	event *Event
+	bytes int
+	data  []byte
+}
+
+// WithEvent makes the spawn explicitly completed: e is notified when the
+// shipped function finishes executing on the target (§II-C2). An
+// explicitly-completed spawn is not covered by cofence or by the
+// enclosing finish — though implicit operations it initiates still are
+// (Fig. 4, spawn row).
+func WithEvent(e *Event) SpawnOpt { return func(o *spawnOpts) { o.event = e } }
+
+// WithBytes sets the modeled argument payload size without shipping real
+// data (default 32 bytes of header).
+func WithBytes(n int) SpawnOpt { return func(o *spawnOpts) { o.bytes = n } }
+
+// WithPayload ships a copied byte payload to the target; the shipped
+// function retrieves it with Payload. The slice is copied at initiation,
+// so the caller may reuse its buffer after the spawn's local data
+// completion (argument evaluation, §III-B3).
+func WithPayload(data []byte) SpawnOpt {
+	return func(o *spawnOpts) {
+		o.data = data
+		o.bytes = len(data) + 32
+	}
+}
+
+// spawnMsg is the wire payload of a shipped function.
+type spawnMsg struct {
+	fn       SpawnFn
+	finishID int64
+	event    *Event
+	data     []byte
+}
+
+// payloadKey carries the spawn payload to the shipped function's Image.
+type payloadCarrier struct{ data []byte }
+
+// Payload returns the byte payload shipped with the spawn that started
+// this proc, or nil.
+func (img *Image) Payload() []byte {
+	if img.payload == nil {
+		return nil
+	}
+	return img.payload.data
+}
+
+// Spawn ships fn to the target image for asynchronous execution
+// (§II-C2). Without WithEvent the spawn completes implicitly: the
+// enclosing finish tracks its global completion, and a cofence observes
+// its local data completion (argument evaluation). The shipped function
+// inherits the spawning context's innermost finish, so functions it
+// spawns transitively remain covered (§III-A).
+func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
+	o := spawnOpts{bytes: 32}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if target < 0 || target >= img.NumImages() {
+		panic("caf: spawn target out of range")
+	}
+	st := img.st
+	st.spawnsSent++
+	img.traceInstant("spawn", "ship")
+
+	msg := &spawnMsg{finishID: img.trackID(), event: o.event, data: nil}
+	implicit := o.event == nil
+
+	var track any
+	if implicit {
+		track = img.track()
+	}
+	class := classForBytes(img.m, o.bytes)
+
+	send := func() {
+		// Argument evaluation: the payload is copied at initiation.
+		if o.data != nil {
+			msg.data = append([]byte(nil), o.data...)
+		}
+		msg.fn = fn
+		tok := st.newDelivToken()
+		st.kern.Send(target, tagSpawn, msg, rt.SendOpts{
+			Track:       track,
+			Class:       class,
+			Bytes:       o.bytes,
+			OnDelivered: tok.complete,
+		})
+	}
+
+	if implicit {
+		// Local data completion of a spawn is argument evaluation; with
+		// payload copied at initiation, initiation is that point.
+		op := img.ct.Register(core.OpReads, send)
+		op.CompleteLocalData()
+	} else {
+		send()
+	}
+}
+
+// handleSpawn executes a shipped function on the destination image.
+func (m *Machine) handleSpawn(d *rt.Delivery) {
+	msg := d.Payload.(*spawnMsg)
+	st := m.states[d.Img.Rank()]
+	d.Detach()
+	st.kern.Go("spawn", func(p *sim.Proc) {
+		st.spawnsExecuted++
+		// Each shipped function carries its own cofence tracker: a
+		// cofence inside it observes only operations it launched
+		// (dynamic scoping, paper Fig. 10 / §III-B3).
+		img := &Image{m: m, st: st, proc: p, inheritedFinish: msg.finishID, ct: m.newTracker()}
+		if msg.data != nil {
+			img.payload = &payloadCarrier{data: msg.data}
+		}
+		execStart := p.Now()
+		msg.fn(img)
+		img.traceSpan("spawn-exec", "ship", execStart)
+		// Spawned context exit is a synchronization point for any
+		// initiations it deferred.
+		img.ct.Flush()
+		if msg.event != nil {
+			m.notifyFrom(d.Img.Rank(), msg.event)
+		}
+		d.Complete()
+	})
+}
+
+// classForBytes picks the message class by payload size.
+func classForBytes(m *Machine, bytes int) fabric.Class {
+	if bytes > m.k.Fabric().MaxMedium() {
+		return fabric.RDMA
+	}
+	return fabric.AMMedium
+}
+
+// MaxSpawnPayload reports the medium-AM payload cap — the limit that
+// bounds how much work a single shipped steal can carry (§IV-C1a).
+func (img *Image) MaxSpawnPayload() int { return img.m.k.Fabric().MaxMedium() - 32 }
