@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures figures-quick examples clean
+.PHONY: all build vet test test-short bench figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -26,6 +26,13 @@ figures:
 
 figures-quick:
 	$(GO) run ./cmd/figures -quick
+
+# Re-run the example workloads under the happens-before race detector
+# and assert the expected conflict counts (nonzero only for the
+# intentionally racy variants). The same tests run as part of `make
+# test`, so CI covers them without this target.
+race-examples:
+	$(GO) test -run 'TestRaceExamples' -v .
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -29,6 +29,7 @@ import (
 	"caf2go/internal/collect"
 	"caf2go/internal/core"
 	"caf2go/internal/fabric"
+	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
 	"caf2go/internal/team"
@@ -85,6 +86,13 @@ type Config struct {
 	// with a writer — the races of the reference RandomAccess (§IV-B).
 	// Inspect with Machine.Conflicts / ConflictLog.
 	DetectConflicts bool
+	// RaceDetector enables the vector-clock happens-before tier
+	// (race.go): conflicting accesses are flagged whenever no chain of
+	// synchronization edges (events, locks, finish, cofence, spawn,
+	// collectives) orders them, even if this execution happened to
+	// serialize them in time. Costlier than DetectConflicts; reports
+	// through the same Conflicts / ConflictLog / ConflictDetails API.
+	RaceDetector bool
 }
 
 // Machine is a configured simulated cluster. Most programs use Run; the
@@ -100,6 +108,7 @@ type Machine struct {
 	tracer    *trace.Recorder
 	registry  *fnRegistry
 	conflicts *conflictState
+	race      *raceState
 
 	coarrays  map[carrKey]*carrSlot
 	nextSplit int64
@@ -158,6 +167,9 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.DetectConflicts {
 		m.conflicts = &conflictState{}
 	}
+	if cfg.RaceDetector {
+		m.race = newRaceState(cfg.Fabric.FIFO)
+	}
 	m.states = make([]*imageState, cfg.Images)
 	for i := range m.states {
 		m.states[i] = &imageState{
@@ -177,6 +189,9 @@ func (m *Machine) Launch(main func(img *Image)) {
 		st := m.states[i]
 		st.kern.Go("main", func(p *sim.Proc) {
 			img := &Image{m: m, st: st, proc: p, ct: m.newTracker()}
+			if m.race != nil {
+				img.rc = m.race.d.NewCtx(nil)
+			}
 			main(img)
 			// Program exit is a synchronization point: flush any
 			// deferred initiations so the machine drains.
@@ -311,6 +326,13 @@ type Image struct {
 	// payload carries the copied argument bytes of the spawn that
 	// started this proc.
 	payload *payloadCarrier
+
+	// rc is this execution context's vector clock when the
+	// happens-before race detector is enabled (nil otherwise), and
+	// raceOps the implicitly-completed operations it initiated whose
+	// local-data-completion clocks a cofence may acquire.
+	rc      *race.Ctx
+	raceOps []raceOp
 }
 
 // Rank returns the image's world rank (0-based).

@@ -27,7 +27,8 @@ func main() {
 	version := flag.String("version", "fs", "single-run version: fs or gup")
 	images := flag.Int("images", 16, "single-run image count")
 	bunch := flag.Int("bunch", 512, "single-run bunch size (fs)")
-	conflicts := flag.Bool("conflicts", false, "single-run: count in-flight access conflicts (races)")
+	conflicts := flag.Bool("conflicts", false, "single-run: count in-flight access conflicts (overlap tier)")
+	hbrace := flag.Bool("race", false, "single-run: happens-before race detection (vector-clock tier)")
 	tableBits := flag.Int("tablebits", 0, "local table = 2^bits words (0 = figure default)")
 	cores := flag.String("cores", "", "override core sweep (comma-separated)")
 	bunches := flag.String("bunches", "", "override bunch sweep for -fig 14")
@@ -35,7 +36,7 @@ func main() {
 	flag.Parse()
 
 	if *single {
-		runSingle(*version, *images, *bunch, *tableBits, *seed, *conflicts)
+		runSingle(*version, *images, *bunch, *tableBits, *seed, *conflicts, *hbrace)
 		return
 	}
 
@@ -81,7 +82,7 @@ func override(dst *[]int, s string) {
 	*dst = v
 }
 
-func runSingle(version string, images, bunch, tableBits int, seed int64, conflicts bool) {
+func runSingle(version string, images, bunch, tableBits int, seed int64, conflicts, hbrace bool) {
 	var cfg ra.Config
 	switch version {
 	case "fs":
@@ -95,7 +96,7 @@ func runSingle(version string, images, bunch, tableBits int, seed int64, conflic
 	if tableBits > 0 {
 		cfg.LocalTableBits = tableBits
 	}
-	res, err := ra.Run(caf.Config{Images: images, Seed: seed, DetectConflicts: conflicts}, cfg)
+	res, err := ra.Run(caf.Config{Images: images, Seed: seed, DetectConflicts: conflicts, RaceDetector: hbrace}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,8 +104,8 @@ func runSingle(version string, images, bunch, tableBits int, seed int64, conflic
 		cfg.Version, images, res.Updates, res.Time, res.GUPS, res.Errors, res.Finishes)
 	fmt.Printf("traffic: %d msgs, %d bytes; finish rounds total: %d\n",
 		res.Report.Msgs, res.Report.Bytes, res.Report.ReduceRounds)
-	if conflicts {
-		fmt.Printf("in-flight access conflicts: %d\n", res.Conflicts)
+	if conflicts || hbrace {
+		fmt.Printf("detected conflicts (both tiers): %d\n", res.Conflicts)
 		for _, line := range res.ConflictLog {
 			fmt.Println("  " + line)
 		}

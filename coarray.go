@@ -78,7 +78,10 @@ func NewCoarray[T any](img *Image, t *Team, n int) *Coarray[T] {
 		panic("caf: mismatched collective coarray allocation (type or size differs across images)")
 	}
 	// Allocation is collective: synchronize before anyone touches it.
+	// The barrier is also a race-detector fence over the team.
+	done := img.collBracket(t, true, true)
 	img.m.comm.Barrier(img.proc, st.kern, t)
+	done()
 	return ca
 }
 

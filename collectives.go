@@ -3,6 +3,7 @@ package caf
 import (
 	"caf2go/internal/collect"
 	"caf2go/internal/core"
+	"caf2go/internal/race"
 	"caf2go/internal/team"
 )
 
@@ -24,6 +25,12 @@ const (
 type Collective struct {
 	img *Image
 	h   *collect.Handle
+
+	// Race-detector state: the per-instance sync clock and whether this
+	// image's role acquires it (a broadcast receiver does, the root does
+	// not need to — there is nothing upstream of it).
+	cs  *collSync
+	acq bool
 }
 
 // CollOpt configures an asynchronous collective.
@@ -46,41 +53,102 @@ func OpEvent(e *Event) CollOpt { return func(o *collOpts) { o.opE = e } }
 
 // WaitLocalData blocks until the image's buffers are usable: inputs may
 // be overwritten, outputs read (Fig. 4).
-func (c *Collective) WaitLocalData() { c.h.WaitLocalData(c.img.proc) }
+func (c *Collective) WaitLocalData() {
+	c.h.WaitLocalData(c.img.proc)
+	c.raceAcquire()
+}
 
 // WaitLocalOp blocks until all pair-wise communication involving this
 // image is complete.
-func (c *Collective) WaitLocalOp() { c.h.WaitLocalOp(c.img.proc) }
+func (c *Collective) WaitLocalOp() {
+	c.h.WaitLocalOp(c.img.proc)
+	c.raceAcquire()
+}
 
-// LocalDataDone reports local data completion without blocking.
-func (c *Collective) LocalDataDone() bool { return c.h.LocalDataDone() }
+// LocalDataDone reports local data completion without blocking. Observing
+// completion is an acquire point: the caller may read the result next.
+func (c *Collective) LocalDataDone() bool {
+	if c.h.LocalDataDone() {
+		c.raceAcquire()
+		return true
+	}
+	return false
+}
 
 // LocalOpDone reports local operation completion without blocking.
-func (c *Collective) LocalOpDone() bool { return c.h.LocalOpDone() }
+func (c *Collective) LocalOpDone() bool {
+	if c.h.LocalOpDone() {
+		c.raceAcquire()
+		return true
+	}
+	return false
+}
+
+// raceAcquire joins the collective's accumulated release clock when this
+// image's role is ordered after other participants.
+func (c *Collective) raceAcquire() {
+	if c.cs != nil && c.acq {
+		c.img.raceAcquire(c.cs.clk)
+	}
+}
 
 // Result returns the operation's local result (see the individual
 // constructors); valid once LocalDataDone.
 func (c *Collective) Result() any { return c.h.Result() }
 
 // wrap finishes constructing an async collective handle: event
-// notifications for explicit completion, cofence registration otherwise.
-func (img *Image) wrap(h *collect.Handle, class core.OpClass, o collOpts) *Collective {
+// notifications for explicit completion, cofence registration otherwise,
+// plus the race detector's role-filtered release/acquire edges — rel
+// images contribute their clock to the instance at initiation, acq
+// images join the accumulation at their completion points.
+func (img *Image) wrap(h *collect.Handle, class core.OpClass, o collOpts, t *Team, rel, acq bool) *Collective {
 	implicit := o.dataE == nil && o.opE == nil
+	var cs *collSync
+	var selfClk race.Clock
+	if rs := img.m.race; rs != nil && img.rc != nil {
+		cs = rs.collInstance(img.Rank(), t)
+		if rel {
+			img.rc.ReleaseInto(&cs.clk)
+		} else if !implicit {
+			// Events still release the notifier's own clock to waiters.
+			selfClk = img.raceRelease()
+		}
+		if implicit {
+			if tid := img.trackID(); tid != 0 {
+				// The enclosing finish's exit is ordered after the whole
+				// instance; dereferenced there, once fully accumulated.
+				fs := rs.finishSyncFor(tid)
+				fs.refs = append(fs.refs, &cs.clk)
+			}
+		}
+	}
 	if implicit {
 		if class != 0 {
 			op := img.ct.Register(class, func() {})
 			h.OnLocalData(op.CompleteLocalData)
+			if cs != nil && acq {
+				img.raceOps = append(img.raceOps, raceOp{op: op, class: class, clkRef: &cs.clk})
+			}
 		}
 	} else {
 		me := img.Rank()
 		if e := o.dataE; e != nil {
-			h.OnLocalData(func() { img.m.notifyFrom(me, e) })
+			h.OnLocalData(func() { img.m.notifyFrom(me, e, collNotifyClk(cs, selfClk)) })
 		}
 		if e := o.opE; e != nil {
-			h.OnLocalOp(func() { img.m.notifyFrom(me, e) })
+			h.OnLocalOp(func() { img.m.notifyFrom(me, e, collNotifyClk(cs, selfClk)) })
 		}
 	}
-	return &Collective{img: img, h: h}
+	return &Collective{img: img, h: h, cs: cs, acq: acq}
+}
+
+// collNotifyClk builds the release clock a collective's completion event
+// carries: the instance's accumulation plus the notifier's own clock.
+func collNotifyClk(cs *collSync, selfClk race.Clock) race.Clock {
+	if cs == nil {
+		return nil
+	}
+	return race.Join(race.CopyClock(cs.clk), selfClk)
 }
 
 // track context for a collective: implicit collectives are covered by
@@ -118,7 +186,7 @@ func (img *Image) BarrierAsync(t *Team, opts ...CollOpt) *Collective {
 		opt(&o)
 	}
 	h := img.m.comm.BarrierAsync(img.st.kern, t, img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, 0, o)
+	return img.wrap(h, 0, o, t, true, true)
 }
 
 // BroadcastAsync begins an asynchronous broadcast of val (bytes wide)
@@ -129,13 +197,15 @@ func (img *Image) BroadcastAsync(t *Team, root int, val any, bytes int, opts ...
 	for _, opt := range opts {
 		opt(&o)
 	}
+	isRoot := t.MustRank(img.Rank()) == root
 	class := core.OpWrites
-	if t.MustRank(img.Rank()) == root {
+	if isRoot {
 		class = core.OpReads
 	}
 	h := img.m.comm.BroadcastAsync(img.st.kern, t, root, val, bytes,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, class, o)
+	// Receivers are ordered after the root; the root after no one.
+	return img.wrap(h, class, o, t, isRoot, true)
 }
 
 // ReduceAsync begins an asynchronous reduction of vec to team rank root.
@@ -145,13 +215,15 @@ func (img *Image) ReduceAsync(t *Team, root int, op ReduceOp, vec []int64, opts 
 	for _, opt := range opts {
 		opt(&o)
 	}
+	isRoot := t.MustRank(img.Rank()) == root
 	class := core.OpReads
-	if t.MustRank(img.Rank()) == root {
+	if isRoot {
 		class |= core.OpWrites
 	}
 	h := img.m.comm.ReduceAsync(img.st.kern, t, root, op, vec,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, class, o)
+	// The root is ordered after every contributor; contributors continue.
+	return img.wrap(h, class, o, t, true, isRoot)
 }
 
 // AllreduceAsync begins an asynchronous all-reduce of vec.
@@ -163,7 +235,7 @@ func (img *Image) AllreduceAsync(t *Team, op ReduceOp, vec []int64, opts ...Coll
 	}
 	h := img.m.comm.AllreduceAsync(img.st.kern, t, op, vec,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, core.OpReads|core.OpWrites, o)
+	return img.wrap(h, core.OpReads|core.OpWrites, o, t, true, true)
 }
 
 // GatherAsync begins an asynchronous gather of val (bytes wide) to root.
@@ -173,13 +245,14 @@ func (img *Image) GatherAsync(t *Team, root int, val any, bytes int, opts ...Col
 	for _, opt := range opts {
 		opt(&o)
 	}
+	isRoot := t.MustRank(img.Rank()) == root
 	class := core.OpReads
-	if t.MustRank(img.Rank()) == root {
+	if isRoot {
 		class |= core.OpWrites
 	}
 	h := img.m.comm.GatherAsync(img.st.kern, t, root, val, bytes,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, class, o)
+	return img.wrap(h, class, o, t, true, isRoot)
 }
 
 // ScatterAsync begins an asynchronous scatter of vals (one per team rank,
@@ -190,13 +263,14 @@ func (img *Image) ScatterAsync(t *Team, root int, vals []any, bytes int, opts ..
 	for _, opt := range opts {
 		opt(&o)
 	}
+	isRoot := t.MustRank(img.Rank()) == root
 	class := core.OpWrites
-	if t.MustRank(img.Rank()) == root {
+	if isRoot {
 		class = core.OpReads
 	}
 	h := img.m.comm.ScatterAsync(img.st.kern, t, root, vals, bytes,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, class, o)
+	return img.wrap(h, class, o, t, isRoot, true)
 }
 
 // AlltoallAsync begins an asynchronous all-to-all of vals (one per rank).
@@ -208,7 +282,7 @@ func (img *Image) AlltoallAsync(t *Team, vals []any, bytes int, opts ...CollOpt)
 	}
 	h := img.m.comm.AlltoallAsync(img.st.kern, t, vals, bytes,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, core.OpReads|core.OpWrites, o)
+	return img.wrap(h, core.OpReads|core.OpWrites, o, t, true, true)
 }
 
 // ScanAsync begins an asynchronous inclusive prefix reduction in
@@ -221,7 +295,7 @@ func (img *Image) ScanAsync(t *Team, op ReduceOp, vec []int64, opts ...CollOpt) 
 	}
 	h := img.m.comm.ScanAsync(img.st.kern, t, op, vec,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, core.OpReads|core.OpWrites, o)
+	return img.wrap(h, core.OpReads|core.OpWrites, o, t, true, true)
 }
 
 // SortAsync begins an asynchronous global sort of keys (each image keeps
@@ -234,7 +308,7 @@ func (img *Image) SortAsync(t *Team, keys []int64, opts ...CollOpt) *Collective 
 	}
 	h := img.m.comm.SortAsync(img.st.kern, t, keys,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, core.OpReads|core.OpWrites, o)
+	return img.wrap(h, core.OpReads|core.OpWrites, o, t, true, true)
 }
 
 // ---------------------------------------------------------------------
@@ -242,58 +316,86 @@ func (img *Image) SortAsync(t *Team, keys []int64, opts ...CollOpt) *Collective 
 // ---------------------------------------------------------------------
 
 // Barrier blocks until every member of t entered the barrier. It
-// replaces Fortran 2008's SYNC ALL (§V).
+// replaces Fortran 2008's SYNC ALL (§V). A barrier is a full
+// release/acquire fence: every member is ordered after every other
+// member's pre-barrier activity.
 func (img *Image) Barrier(t *Team) {
 	t = img.resolveTeam(t)
+	done := img.collBracket(t, true, true)
 	img.m.comm.Barrier(img.proc, img.st.kern, t)
+	done()
 }
 
 // Broadcast distributes val (bytes wide) from team rank root.
 func (img *Image) Broadcast(t *Team, root int, val any, bytes int) any {
 	t = img.resolveTeam(t)
-	return img.m.comm.Broadcast(img.proc, img.st.kern, t, root, val, bytes)
+	done := img.collBracket(t, t.MustRank(img.Rank()) == root, true)
+	out := img.m.comm.Broadcast(img.proc, img.st.kern, t, root, val, bytes)
+	done()
+	return out
 }
 
 // Reduce folds vec to the root (result nil elsewhere).
 func (img *Image) Reduce(t *Team, root int, op ReduceOp, vec []int64) []int64 {
 	t = img.resolveTeam(t)
-	return img.m.comm.Reduce(img.proc, img.st.kern, t, root, op, vec)
+	done := img.collBracket(t, true, t.MustRank(img.Rank()) == root)
+	out := img.m.comm.Reduce(img.proc, img.st.kern, t, root, op, vec)
+	done()
+	return out
 }
 
 // Allreduce folds vec across t, returning the result everywhere.
 func (img *Image) Allreduce(t *Team, op ReduceOp, vec []int64) []int64 {
 	t = img.resolveTeam(t)
-	return img.m.comm.Allreduce(img.proc, img.st.kern, t, op, vec)
+	done := img.collBracket(t, true, true)
+	out := img.m.comm.Allreduce(img.proc, img.st.kern, t, op, vec)
+	done()
+	return out
 }
 
 // Gather collects each member's val at the root.
 func (img *Image) Gather(t *Team, root int, val any, bytes int) []any {
 	t = img.resolveTeam(t)
-	return img.m.comm.Gather(img.proc, img.st.kern, t, root, val, bytes)
+	done := img.collBracket(t, true, t.MustRank(img.Rank()) == root)
+	out := img.m.comm.Gather(img.proc, img.st.kern, t, root, val, bytes)
+	done()
+	return out
 }
 
 // Scatter distributes vals (one per team rank) from the root.
 func (img *Image) Scatter(t *Team, root int, vals []any, bytes int) any {
 	t = img.resolveTeam(t)
-	return img.m.comm.Scatter(img.proc, img.st.kern, t, root, vals, bytes)
+	done := img.collBracket(t, t.MustRank(img.Rank()) == root, true)
+	out := img.m.comm.Scatter(img.proc, img.st.kern, t, root, vals, bytes)
+	done()
+	return out
 }
 
 // Alltoall exchanges vals pairwise.
 func (img *Image) Alltoall(t *Team, vals []any, bytes int) []any {
 	t = img.resolveTeam(t)
-	return img.m.comm.Alltoall(img.proc, img.st.kern, t, vals, bytes)
+	done := img.collBracket(t, true, true)
+	out := img.m.comm.Alltoall(img.proc, img.st.kern, t, vals, bytes)
+	done()
+	return out
 }
 
 // Scan returns the inclusive prefix reduction in team-rank order.
 func (img *Image) Scan(t *Team, op ReduceOp, vec []int64) []int64 {
 	t = img.resolveTeam(t)
-	return img.m.comm.Scan(img.proc, img.st.kern, t, op, vec)
+	done := img.collBracket(t, true, true)
+	out := img.m.comm.Scan(img.proc, img.st.kern, t, op, vec)
+	done()
+	return out
 }
 
 // SortKeys globally sorts the members' keys.
 func (img *Image) SortKeys(t *Team, keys []int64) []int64 {
 	t = img.resolveTeam(t)
-	return img.m.comm.Sort(img.proc, img.st.kern, t, keys)
+	done := img.collBracket(t, true, true)
+	out := img.m.comm.Sort(img.proc, img.st.kern, t, keys)
+	done()
+	return out
 }
 
 // TeamSplit collectively partitions parent (nil = team_world): images
@@ -303,7 +405,9 @@ func (img *Image) SortKeys(t *Team, keys []int64) []int64 {
 func (img *Image) TeamSplit(parent *Team, color, key int) *Team {
 	parent = img.resolveTeam(parent)
 	spec := team.SplitSpec{World: img.Rank(), Color: color, Key: key}
-	gathered := img.m.comm.Gather(img.proc, img.st.kern, parent, 0, spec, 24)
+	// Route through the bracketed collectives so a split also installs
+	// its happens-before edges (a split is a synchronization point).
+	gathered := img.Gather(parent, 0, spec, 24)
 	var result map[int]*Team
 	if parent.MustRank(img.Rank()) == 0 {
 		specs := make([]team.SplitSpec, len(gathered))
@@ -315,7 +419,7 @@ func (img *Image) TeamSplit(parent *Team, color, key int) *Team {
 		base := img.m.reserveTeamIDs(len(colors))
 		result = team.Split(parent, specs, base)
 	}
-	shared := img.m.comm.Broadcast(img.proc, img.st.kern, parent, 0, result, 16*parent.Size()).(map[int]*Team)
+	shared := img.Broadcast(parent, 0, result, 16*parent.Size()).(map[int]*Team)
 	return shared[color]
 }
 

@@ -2,16 +2,23 @@ package caf
 
 import (
 	"fmt"
-	"sort"
+
+	"caf2go/internal/race"
+	"caf2go/internal/sim"
 )
 
-// Conflict detection: when Config.DetectConflicts is set, the runtime
-// tracks the coarray ranges touched by in-flight one-sided operations
-// (CopyAsync, Get, Put) and flags overlapping concurrent accesses where
-// at least one side writes — the data races the paper notes in the
-// reference RandomAccess version (§IV-B: "a put can happen between a
-// get/put pair updating a location"). Function-shipped updates execute
-// atomically on the owner and therefore never trigger it.
+// Conflict detection, cheap tier: when Config.DetectConflicts is set,
+// the runtime tracks the coarray ranges touched by in-flight one-sided
+// operations (CopyAsync, Get, Put) and flags overlapping concurrent
+// accesses where at least one side writes — the data races the paper
+// notes in the reference RandomAccess version (§IV-B: "a put can happen
+// between a get/put pair updating a location"). Function-shipped updates
+// execute atomically on the owner and therefore never trigger it.
+//
+// This tier only sees races whose operations overlap in virtual time; a
+// racy pair the fabric happened to serialize goes unnoticed. The
+// happens-before tier (Config.RaceDetector, race.go) catches those too.
+// Both report through Conflicts / ConflictLog / ConflictDetails.
 //
 // Only runtime-mediated accesses are visible; direct slice access through
 // Coarray.Local is the image's own memory and is not tracked (the DRF0
@@ -23,71 +30,146 @@ type accessRange struct {
 	region any // the coarray (identity)
 	rank   int
 	lo, hi int
+	step   int // ≤ 1 = contiguous
 	write  bool
 	op     string
 }
 
 func (a accessRange) overlaps(b accessRange) bool {
-	return a.region == b.region && a.rank == b.rank && a.lo < b.hi && b.lo < a.hi
+	return a.region == b.region && a.rank == b.rank &&
+		race.RangesIntersect(a.lo, a.hi, a.step, b.lo, b.hi, b.step)
 }
 
-// conflictState is the machine-wide detector.
+// logEntry is one recorded conflict: the formatted line plus the fields
+// ConflictDetails exposes. first is the earlier (in-flight) access.
+type logEntry struct {
+	t             sim.Time
+	image         int
+	lo, hi        int
+	first, second string
+	s             string
+}
+
+// conflictState is the machine-wide overlap detector.
 type conflictState struct {
-	nextID int64
-	active []accessRange
-	count  int64
-	log    []string
+	nextID  int64
+	active  []accessRange
+	index   map[int64]int // access id -> position in active
+	count   int64
+	log     []logEntry
+	dropped int64 // conflicts past conflictLogCap (counted, not logged)
 }
 
 const conflictLogCap = 16
 
 // beginAccess registers an in-flight access and reports conflicts with
 // currently active ones. Returns a release function.
-func (m *Machine) beginAccess(region any, rank, lo, hi int, write bool, op string) func() {
+func (m *Machine) beginAccess(region any, rank, lo, hi, step int, write bool, op string) func() {
 	cs := m.conflicts
 	if cs == nil || lo >= hi {
 		return func() {}
 	}
 	cs.nextID++
-	a := accessRange{id: cs.nextID, region: region, rank: rank, lo: lo, hi: hi, write: write, op: op}
+	a := accessRange{id: cs.nextID, region: region, rank: rank, lo: lo, hi: hi, step: step, write: write, op: op}
 	for _, b := range cs.active {
 		if (a.write || b.write) && a.overlaps(b) {
 			cs.count++
-			if len(cs.log) < conflictLogCap {
-				cs.log = append(cs.log, fmt.Sprintf(
-					"conflict at image %d [%d,%d): %s overlaps in-flight %s at t=%v",
-					rank, max2(a.lo, b.lo), min2(a.hi, b.hi), a.op, b.op, m.eng.Now()))
+			if len(cs.log) >= conflictLogCap {
+				cs.dropped++
+				continue
 			}
+			iLo, iHi := max2(a.lo, b.lo), min2(a.hi, b.hi)
+			cs.log = append(cs.log, logEntry{
+				t: m.eng.Now(), image: rank, lo: iLo, hi: iHi,
+				first: b.op, second: a.op,
+				s: fmt.Sprintf("conflict at image %d [%d,%d): %s overlaps in-flight %s at t=%v",
+					rank, iLo, iHi, a.op, b.op, m.eng.Now()),
+			})
 		}
 	}
+	if cs.index == nil {
+		cs.index = make(map[int64]int)
+	}
+	cs.index[a.id] = len(cs.active)
 	cs.active = append(cs.active, a)
 	return func() {
-		for i := range cs.active {
-			if cs.active[i].id == a.id {
-				cs.active = append(cs.active[:i], cs.active[i+1:]...)
-				return
-			}
+		// O(1) release: swap the last active access into the slot.
+		pos, ok := cs.index[a.id]
+		if !ok {
+			return
 		}
+		delete(cs.index, a.id)
+		last := len(cs.active) - 1
+		if pos != last {
+			cs.active[pos] = cs.active[last]
+			cs.index[cs.active[pos].id] = pos
+		}
+		cs.active[last] = accessRange{}
+		cs.active = cs.active[:last]
 	}
 }
 
-// Conflicts reports the number of conflicting overlaps observed so far
-// (0 when detection is disabled).
+// Conflicts reports the total number of violations observed by the
+// enabled detection tiers: temporal overlaps (DetectConflicts) plus
+// happens-before races (RaceDetector). 0 when both are disabled.
 func (m *Machine) Conflicts() int64 {
-	if m.conflicts == nil {
-		return 0
+	var n int64
+	if m.conflicts != nil {
+		n += m.conflicts.count
 	}
-	return m.conflicts.count
+	if m.race != nil {
+		n += m.race.d.Count()
+	}
+	return n
 }
 
-// ConflictLog returns descriptions of the first few conflicts, sorted.
+// ConflictLog returns descriptions of the first few conflicts from both
+// tiers in chronological order. When more were observed than logged, the
+// final entry summarizes the overflow ("… and N more").
 func (m *Machine) ConflictLog() []string {
-	if m.conflicts == nil {
+	var entries []logEntry
+	var dropped int64
+	if cs := m.conflicts; cs != nil {
+		entries = append(entries, cs.log...)
+		dropped += cs.dropped
+	}
+	if rs := m.race; rs != nil {
+		entries = mergeLogs(entries, m.raceLogLines())
+		dropped += rs.d.Dropped()
+	}
+	if len(entries) == 0 && dropped == 0 {
 		return nil
 	}
-	out := append([]string(nil), m.conflicts.log...)
-	sort.Strings(out)
+	out := make([]string, 0, len(entries)+1)
+	for _, e := range entries {
+		out = append(out, e.s)
+	}
+	if dropped > 0 {
+		out = append(out, fmt.Sprintf("… and %d more", dropped))
+	}
 	return out
+}
+
+// mergeLogs merges two chronologically ordered entry lists.
+func mergeLogs(a, b []logEntry) []logEntry {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]logEntry, 0, len(a)+len(b))
+	for len(a) > 0 && len(b) > 0 {
+		if a[0].t <= b[0].t {
+			out = append(out, a[0])
+			a = a[1:]
+		} else {
+			out = append(out, b[0])
+			b = b[1:]
+		}
+	}
+	out = append(out, a...)
+	return append(out, b...)
 }
 
 func max2(a, b int) int {

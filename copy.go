@@ -5,6 +5,7 @@ import (
 
 	"caf2go/internal/core"
 	"caf2go/internal/fabric"
+	"caf2go/internal/race"
 	"caf2go/internal/rt"
 )
 
@@ -37,6 +38,12 @@ type copyPutMsg struct {
 	write     func(data any)
 	onWritten func() // runs on the destination image after the write
 	destE     *Event
+
+	// Race-detector plumbing (nil/zero when off): wclk is the op's write
+	// clock at send; recordW registers the destination access under the
+	// channel-joined effective clock the delivery computes.
+	wclk    race.Clock
+	recordW func(clk race.Clock)
 }
 
 // copyReadMsg asks the source image to read a section and forward it.
@@ -48,13 +55,24 @@ type copyReadMsg struct {
 	track   any // base finish ref for the data hop
 	srcE    *Event
 	put     copyPutMsg
+
+	// rclk is the op's read clock; recordR registers the source access.
+	rclk    race.Clock
+	recordR func(clk race.Clock)
 }
 
 // chainMsg registers a predicate continuation on a remote event's owner.
 type chainMsg struct {
 	e          *Event
 	resumeRank int
-	resume     func()
+	resume     func(clk race.Clock)
+}
+
+// resumeMsg carries a predicate continuation home with the clock of the
+// consumed post.
+type resumeMsg struct {
+	fn  func(clk race.Clock)
+	clk race.Clock
 }
 
 // CopyAsync initiates a one-sided asynchronous copy from src to dst
@@ -90,8 +108,23 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 	class := classForBytes(img.m, bytes)
 
 	var track any
+	var tid int64
 	if implicit {
 		track = img.track()
+		tid = img.trackID()
+	}
+
+	// Race detector: the op runs under its own clock components — a read
+	// component for the source access and a write component derived from
+	// it for the destination access — forked from the initiator's clock
+	// at this program point (plus the predicate's clock once it fires).
+	// The initiator is NOT ordered after the op's accesses until some
+	// synchronization construct (cofence, finish, event) says so.
+	rs := img.m.race
+	var base, predClk, rclk, wclk, localClk race.Clock
+	rid, wid := -1, -1
+	if rs != nil && img.rc != nil {
+		base = img.rc.Snapshot()
 	}
 
 	// Cofence bookkeeping: how the op touches the initiator's local data.
@@ -122,6 +155,33 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 		onWritten = signal
 	}
 
+	// forkOpClocks runs at actual initiation (the predicate may defer
+	// it): the read clock forks from the initiator's call-point snapshot
+	// joined with the consumed predicate post's clock; the write clock
+	// forks from the read clock (the write follows the read). The
+	// enclosing finish eagerly joins the op's clocks — its exit cannot
+	// happen before the op globally completes.
+	forkOpClocks := func() {
+		if rs == nil || img.rc == nil {
+			return
+		}
+		b := base
+		if predClk != nil {
+			b = race.Join(race.CopyClock(base), predClk)
+		}
+		rclk, rid = rs.d.OpClock(b)
+		wclk, wid = rs.d.OpClock(rclk)
+		if dstLocal {
+			localClk = wclk
+		} else {
+			localClk = rclk
+		}
+		if tid != 0 {
+			fs := rs.finishSyncFor(tid)
+			race.JoinInto(&fs.ops, wclk)
+		}
+	}
+
 	var start func()
 	if srcLocal {
 		dstRank := me
@@ -129,11 +189,13 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 			dstRank = dst.rank
 		}
 		start = func() {
+			forkOpClocks()
 			relSrc := claimSec(img.m, src, false, "copy_async read")
+			raceRecord(img.m, src, false, rid, rclk, "copy_async read")
 			data := src.read() // snapshot at initiation
 			relSrc()
 			relDst := claimSec(img.m, dst, true, "copy_async write")
-			tok := st.newDelivToken()
+			tok := st.newDelivToken(wclk)
 			put := &copyPutMsg{
 				data: data,
 				write: func(d any) {
@@ -142,6 +204,13 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 				},
 				onWritten: onWritten,
 				destE:     o.destE,
+				wclk:      wclk,
+			}
+			if rs != nil && dst.ca != nil {
+				m, wid := img.m, wid
+				put.recordW = func(clk race.Clock) {
+					raceRecord(m, dst, true, wid, clk, "copy_async write")
+				}
 			}
 			sendOpts := rt.SendOpts{
 				Track:       track,
@@ -156,7 +225,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 					signal()
 				}
 				if srcE != nil {
-					img.m.notifyFrom(me, srcE)
+					img.m.notifyFrom(me, srcE, rclk)
 				}
 			}
 			st.kern.Send(dstRank, tagCopyPut, put, sendOpts)
@@ -173,9 +242,13 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 			baseTrack = core.Ref{ID: track.(core.Ref).ID}
 		}
 		start = func() {
+			forkOpClocks()
 			relSrc := claimSec(img.m, src, false, "copy_async read")
 			relDst := claimSec(img.m, dst, true, "copy_async write")
-			tok := st.newDelivToken()
+			// The notify token completes when the read request lands —
+			// the read has happened then, the data hop has not, so only
+			// the read clock is released to event waiters.
+			tok := st.newDelivToken(rclk)
 			msg := &copyReadMsg{
 				read: func() any {
 					v := src.read()
@@ -187,6 +260,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 				class:   class,
 				track:   baseTrack,
 				srcE:    o.srcE,
+				rclk:    rclk,
 				put: copyPutMsg{
 					write: func(d any) {
 						dst.write(d.([]T))
@@ -194,7 +268,23 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 					},
 					onWritten: onWritten,
 					destE:     o.destE,
+					wclk:      wclk,
 				},
+			}
+			if rs != nil {
+				m := img.m
+				if src.ca != nil {
+					rid := rid
+					msg.recordR = func(clk race.Clock) {
+						raceRecord(m, src, false, rid, clk, "copy_async read")
+					}
+				}
+				if dst.ca != nil {
+					wid := wid
+					msg.put.recordW = func(clk race.Clock) {
+						raceRecord(m, dst, true, wid, clk, "copy_async write")
+					}
+				}
 			}
 			st.kern.Send(src.rank, tagCopyGetReq, msg, rt.SendOpts{
 				Track:       track,
@@ -207,21 +297,31 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 
 	initiate := start
 	if o.pred != nil {
-		initiate = func() { img.m.gatePredicate(me, o.pred, start) }
+		initiate = func() {
+			img.m.gatePredicate(me, o.pred, func(clk race.Clock) {
+				predClk = clk
+				start()
+			})
+		}
 	}
 
 	if implicit && class2 != 0 {
 		op = img.ct.Register(class2, initiate)
+		if rs != nil {
+			img.raceOps = append(img.raceOps, raceOp{op: op, class: class2, clkRef: &localClk})
+		}
 	} else {
 		initiate()
 	}
 }
 
 // gatePredicate runs fn once e has a post available, routing through e's
-// owner image when remote (one message each way).
-func (m *Machine) gatePredicate(fromRank int, e *Event, fn func()) {
+// owner image when remote (one message each way). fn receives the
+// event's accumulated release clock at consumption (nil when the race
+// detector is off).
+func (m *Machine) gatePredicate(fromRank int, e *Event, fn func(clk race.Clock)) {
 	if e.owner == fromRank {
-		m.whenPosted(e, fn)
+		m.whenPosted(e, func() { fn(m.eventClock(e)) })
 		return
 	}
 	m.states[fromRank].kern.Send(e.owner, tagEventChain, &chainMsg{
@@ -231,24 +331,43 @@ func (m *Machine) gatePredicate(fromRank int, e *Event, fn func()) {
 	}, rt.SendOpts{Class: fabric.AMShort, Bytes: 24})
 }
 
+// eventClock copies the event's accumulated release clock.
+func (m *Machine) eventClock(e *Event) race.Clock {
+	if m.race == nil {
+		return nil
+	}
+	return race.CopyClock(m.eventState(e).rclk)
+}
+
 func (m *Machine) handleCopyPut(d *rt.Delivery) {
 	msg := d.Payload.(*copyPutMsg)
+	here := d.Img.Rank()
+	// FIFO channel edge: this delivery is ordered after every earlier
+	// delivery on the same (src, dst) channel.
+	eff := m.raceChanArrive(d.Src, here, msg.wclk)
 	msg.write(msg.data)
+	if msg.recordW != nil {
+		msg.recordW(eff)
+	}
 	if msg.onWritten != nil {
 		msg.onWritten()
 	}
 	if msg.destE != nil {
-		m.notifyFrom(d.Img.Rank(), msg.destE)
+		m.notifyFrom(here, msg.destE, eff)
 	}
 }
 
 func (m *Machine) handleCopyGetReq(d *rt.Delivery) {
 	msg := d.Payload.(*copyReadMsg)
-	data := msg.read()
 	here := d.Img.Rank()
+	eff := m.raceChanArrive(d.Src, here, msg.rclk)
+	data := msg.read()
+	if msg.recordR != nil {
+		msg.recordR(eff)
+	}
 	if msg.srcE != nil {
 		// Source read complete: the source buffer may be overwritten.
-		m.notifyFrom(here, msg.srcE)
+		m.notifyFrom(here, msg.srcE, eff)
 	}
 	put := msg.put
 	put.data = data
@@ -260,20 +379,24 @@ func (m *Machine) handleCopyGetReq(d *rt.Delivery) {
 }
 
 func (m *Machine) handleEventNotify(d *rt.Delivery) {
-	m.post(d.Payload.(*Event))
+	msg := d.Payload.(*eventNotifyMsg)
+	m.eventRelease(msg.e, msg.clk)
+	m.post(msg.e)
 }
 
 func (m *Machine) handleEventChain(d *rt.Delivery) {
 	msg := d.Payload.(*chainMsg)
 	here := d.Img.Rank()
 	m.whenPosted(msg.e, func() {
-		m.states[here].kern.Send(msg.resumeRank, tagResume, msg.resume,
+		m.states[here].kern.Send(msg.resumeRank, tagResume,
+			&resumeMsg{fn: msg.resume, clk: m.eventClock(msg.e)},
 			rt.SendOpts{Class: fabric.AMShort, Bytes: 16})
 	})
 }
 
 func (m *Machine) handleResume(d *rt.Delivery) {
-	d.Payload.(func())()
+	msg := d.Payload.(*resumeMsg)
+	msg.fn(msg.clk)
 }
 
 // ---------------------------------------------------------------------
@@ -297,15 +420,22 @@ func claimSec[T any](m *Machine, s Sec[T], write bool, op string) func() {
 	if s.ca == nil {
 		return func() {}
 	}
-	return m.beginAccess(s.ca, s.rank, s.lo, s.hi, write, op)
+	return m.beginAccess(s.ca, s.rank, s.lo, s.hi, s.step, write, op)
 }
 
 // Get performs a blocking one-sided read of a (possibly remote) section.
+// The caller is parked for the round trip, so the happens-before tier
+// records the access under the caller's own clock — its program point
+// orders it, including on the local fast path the overlap tier skips
+// (an instantaneous access cannot temporally overlap, but it can still
+// be unordered with a remote writer).
 func Get[T any](img *Image, src Sec[T]) []T {
 	if src.isLocalBuf() || src.rank == img.Rank() {
+		raceRecordCtx(img, src, false, "get")
 		return src.read()
 	}
 	rel := claimSec(img.m, src, false, "get")
+	raceRecordCtx(img, src, false, "get")
 	bytes := src.Len()*src.elemBytes() + 16
 	reply := img.st.kern.Call(img.proc, src.rank, tagBlockingGet, &blockingGetMsg{
 		read: func() any {
@@ -325,10 +455,12 @@ func Put[T any](img *Image, dst Sec[T], vals []T) {
 		panic(fmt.Sprintf("caf: put length mismatch: dst %d, vals %d", dst.Len(), len(vals)))
 	}
 	if dst.isLocalBuf() || dst.rank == img.Rank() {
+		raceRecordCtx(img, dst, true, "put")
 		dst.write(vals)
 		return
 	}
 	rel := claimSec(img.m, dst, true, "put")
+	raceRecordCtx(img, dst, true, "put")
 	data := append([]T(nil), vals...)
 	bytes := len(vals)*dst.elemBytes() + 16
 	img.st.kern.Call(img.proc, dst.rank, tagBlockingPut, &blockingPutMsg{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"caf2go/internal/fabric"
+	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
 )
@@ -30,6 +31,13 @@ type eventState struct {
 	count   int64
 	waiters []*sim.Proc
 	cbs     []func() // one-shot callbacks, each consuming one post
+
+	// rclk accumulates the release clocks of all notifies when the race
+	// detector runs. A consumer acquires the whole accumulation — the
+	// counting-semaphore approximation: it may be ordered after more
+	// notifies than the one it consumed, which only hides races, never
+	// invents them.
+	rclk race.Clock
 }
 
 // Owner returns the world rank hosting the event.
@@ -63,8 +71,14 @@ func (m *Machine) post(e *Event) {
 		es.count--
 		cb()
 	}
-	for _, w := range es.waiters {
-		w.Unpark()
+	// A registered callback has priority over blocked waiters and may
+	// have consumed the post just delivered; unparking waiters then
+	// would be spurious — they would re-evaluate count == 0 and park
+	// again, burning simulator events.
+	if es.count > 0 {
+		for _, w := range es.waiters {
+			w.Unpark()
+		}
 	}
 }
 
@@ -81,17 +95,34 @@ func (m *Machine) whenPosted(e *Event, fn func()) {
 	es.cbs = append(es.cbs, fn)
 }
 
-// notifyFrom delivers one post to e, sending an active message when the
+// eventNotifyMsg carries a notification and its release clock.
+type eventNotifyMsg struct {
+	e   *Event
+	clk race.Clock
+}
+
+// notifyFrom delivers one post to e with the given release clock (nil
+// when the race detector is off), sending an active message when the
 // signal originates on a different image than the owner.
-func (m *Machine) notifyFrom(fromRank int, e *Event) {
+func (m *Machine) notifyFrom(fromRank int, e *Event, clk race.Clock) {
 	if e.owner == fromRank {
+		m.eventRelease(e, clk)
 		m.post(e)
 		return
 	}
-	m.states[fromRank].kern.Send(e.owner, tagEventNotify, e, rt.SendOpts{
+	m.states[fromRank].kern.Send(e.owner, tagEventNotify, &eventNotifyMsg{e: e, clk: clk}, rt.SendOpts{
 		Class: fabric.AMShort,
 		Bytes: 16,
 	})
+}
+
+// eventRelease joins a notify's clock into the event's accumulation.
+func (m *Machine) eventRelease(e *Event, clk race.Clock) {
+	if m.race == nil || clk == nil {
+		return
+	}
+	es := m.eventState(e)
+	es.rclk = race.Join(es.rclk, clk)
 }
 
 // EventNotify posts the event with release semantics: the notification is
@@ -104,8 +135,12 @@ func (img *Image) EventNotify(e *Event) {
 	// Release boundary: deferred initiations must actually start.
 	img.ct.Flush()
 	from := img.Rank()
-	img.m.afterOutstandingDeliveries(st, func() {
-		img.m.notifyFrom(from, e)
+	// Release clock: the notifier's clock at the notify, joined below
+	// with the clocks of the outstanding remote updates the notify waits
+	// on — a waiter is ordered after those updates' writes too.
+	rel := img.raceRelease()
+	img.m.afterOutstandingDeliveries(st, func(dclk race.Clock) {
+		img.m.notifyFrom(from, e, race.Join(rel, dclk))
 	})
 }
 
@@ -131,6 +166,8 @@ func (img *Image) EventWait(e *Event) {
 		}
 	}
 	es.count--
+	// Acquire: subsequent operations are ordered after the notifies.
+	img.raceAcquire(es.rclk)
 }
 
 // EventTryWait consumes a notification if one is available.
@@ -141,6 +178,7 @@ func (img *Image) EventTryWait(e *Event) bool {
 	es := img.m.eventState(e)
 	if es.count > 0 {
 		es.count--
+		img.raceAcquire(es.rclk)
 		return true
 	}
 	return false

@@ -30,14 +30,39 @@ func (img *Image) Finish(t *Team, body func()) int {
 	start := img.Now()
 	s := img.m.plane.Begin(img.st.kern, t)
 	img.finishStack = append(img.finishStack, s)
+	preOps := len(img.raceOps)
 	body()
 	img.finishStack = img.finishStack[:len(img.finishStack)-1]
 	// The end of a finish block is a synchronization point: deferred
 	// initiations must start or termination detection would wait on
 	// operations that never launch.
 	img.ct.Flush()
+	// Race-detector release: each member contributes its end-of-body
+	// clock; detection cannot signal termination before every member
+	// participates in the reduction, so the exit below acquires them all.
+	var fs *finishSync
+	if rs := img.m.race; rs != nil && img.rc != nil {
+		fs = rs.finishSyncFor(s.Ref().ID)
+		img.rc.ReleaseInto(&fs.members)
+	}
 	detect := img.Now()
 	rounds := img.m.plane.End(img.proc, img.st.kern, s)
+	if fs != nil {
+		// Acquire: the exit is ordered after every member's body and
+		// after every implicitly-completed operation initiated inside
+		// the block (their clocks were joined into fs.ops/fs.refs at
+		// initiation; global completion is what End just waited for).
+		img.rc.Acquire(fs.members)
+		img.rc.Acquire(fs.ops)
+		for _, ref := range fs.refs {
+			img.rc.Acquire(*ref)
+		}
+		// Ops initiated inside the block are now fully acquired; a later
+		// cofence need not (and must not re-)consider them.
+		if preOps < len(img.raceOps) {
+			img.raceOps = img.raceOps[:preOps]
+		}
+	}
 	img.traceSpan("finish", "sync", start)
 	img.traceSpan("finish-detect", "sync", detect)
 	return rounds
@@ -56,6 +81,25 @@ func (img *Image) Finish(t *Team, body func()) int {
 func (img *Image) Cofence(down, up Allow) {
 	start := img.Now()
 	img.ct.Cofence(img.proc, down, up)
+	// Race-detector acquire: the fence ordered this context after the
+	// local data completion of every implicit op the DOWNWARD filter did
+	// not let pass. Ops that passed stay pending — acquiring a completed
+	// but unfenced op would hide exactly the races this tier exists to
+	// catch.
+	if img.m.race != nil && img.rc != nil {
+		live := img.raceOps[:0]
+		for _, ro := range img.raceOps {
+			blocked := ro.class&^core.OpClass(down) != 0
+			if blocked && ro.op.LocalDataDone() {
+				if ro.clkRef != nil {
+					img.rc.Acquire(*ro.clkRef)
+				}
+				continue
+			}
+			live = append(live, ro)
+		}
+		img.raceOps = live
+	}
 	img.traceSpan("cofence", "sync", start)
 }
 

@@ -1,5 +1,7 @@
 package caf
 
+import "caf2go/internal/race"
+
 // Fabric tag allocation for the caf runtime layer. internal/collect owns
 // tag 100; everything else lives here.
 const (
@@ -32,10 +34,14 @@ func (m *Machine) registerHandlers() {
 }
 
 // delivToken tracks one outstanding remote update for release-semantics
-// event notification.
+// event notification. clk is the clock covering the update's delivered
+// effects (the op's write clock for a put, read clock for a get request;
+// nil when the race detector is off) — an EventNotify waiting on the
+// token releases it to waiters along with the notifier's own clock.
 type delivToken struct {
 	done bool
 	cbs  []func()
+	clk  race.Clock
 }
 
 func (t *delivToken) complete() {
@@ -51,23 +57,26 @@ func (t *delivToken) complete() {
 }
 
 // newDelivToken registers an outstanding remote update on the image.
-func (st *imageState) newDelivToken() *delivToken {
-	t := &delivToken{}
+func (st *imageState) newDelivToken(clk race.Clock) *delivToken {
+	t := &delivToken{clk: clk}
 	st.pendingDeliv = append(st.pendingDeliv, t)
 	return t
 }
 
 // afterOutstandingDeliveries runs fn once every remote update outstanding
-// at call time has been delivered. Updates issued later do not delay fn —
-// exactly the porousness EventNotify needs.
-func (m *Machine) afterOutstandingDeliveries(st *imageState, fn func()) {
+// at call time has been delivered, passing the join of those updates'
+// clocks (nil when the race detector is off). Updates issued later do not
+// delay fn — exactly the porousness EventNotify needs.
+func (m *Machine) afterOutstandingDeliveries(st *imageState, fn func(clk race.Clock)) {
 	// Prune finished tokens while collecting the live ones.
 	live := st.pendingDeliv[:0]
 	var waitFor []*delivToken
+	var clk race.Clock
 	for _, t := range st.pendingDeliv {
 		if !t.done {
 			live = append(live, t)
 			waitFor = append(waitFor, t)
+			clk = race.Join(clk, t.clk)
 		}
 	}
 	for i := len(live); i < len(st.pendingDeliv); i++ {
@@ -75,7 +84,7 @@ func (m *Machine) afterOutstandingDeliveries(st *imageState, fn func()) {
 	}
 	st.pendingDeliv = live
 	if len(waitFor) == 0 {
-		fn()
+		fn(nil)
 		return
 	}
 	remaining := len(waitFor)
@@ -83,7 +92,7 @@ func (m *Machine) afterOutstandingDeliveries(st *imageState, fn func()) {
 		t.cbs = append(t.cbs, func() {
 			remaining--
 			if remaining == 0 {
-				fn()
+				fn(clk)
 			}
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"caf2go/internal/fabric"
+	"caf2go/internal/race"
 	"caf2go/internal/rt"
 )
 
@@ -13,6 +14,16 @@ import (
 type lockState struct {
 	held  bool
 	queue []*rt.Delivery // blocked acquirers, FIFO
+
+	// rclk accumulates the release clocks of unlocks: the next holder
+	// acquires everything done under earlier critical sections.
+	rclk race.Clock
+}
+
+// unlockMsg carries a release and its clock.
+type unlockMsg struct {
+	id  int
+	clk race.Clock
 }
 
 // Lock acquires lock id on the image with the given world rank, blocking
@@ -23,13 +34,18 @@ func (img *Image) Lock(rank, id int) {
 		Class: fabric.AMShort,
 		Bytes: 16,
 	})
+	// Acquire: the grant orders this holder after every prior unlock.
+	// Reading the remote lock state directly is the shared-address-space
+	// simulation's shortcut; nothing can release between our grant and
+	// here because we hold the lock.
+	img.raceAcquire(img.m.lockStateFor(rank, id).rclk)
 }
 
 // Unlock releases lock id on the image with the given world rank. The
 // release is asynchronous (one-way message); FIFO fabric delivery keeps
 // lock/unlock pairs ordered.
 func (img *Image) Unlock(rank, id int) {
-	img.st.kern.Send(rank, tagUnlock, id, rt.SendOpts{
+	img.st.kern.Send(rank, tagUnlock, &unlockMsg{id: id, clk: img.raceRelease()}, rt.SendOpts{
 		Class: fabric.AMShort,
 		Bytes: 16,
 	})
@@ -57,10 +73,14 @@ func (m *Machine) handleLock(d *rt.Delivery) {
 }
 
 func (m *Machine) handleUnlock(d *rt.Delivery) {
-	ls := m.lockStateFor(d.Img.Rank(), d.Payload.(int))
+	msg := d.Payload.(*unlockMsg)
+	ls := m.lockStateFor(d.Img.Rank(), msg.id)
 	if !ls.held {
 		panic(fmt.Sprintf("caf: unlock of lock %d on image %d that is not held",
-			d.Payload.(int), d.Img.Rank()))
+			msg.id, d.Img.Rank()))
+	}
+	if msg.clk != nil {
+		ls.rclk = race.Join(ls.rclk, msg.clk)
 	}
 	if len(ls.queue) > 0 {
 		next := ls.queue[0]

@@ -3,6 +3,7 @@ package caf
 import (
 	"caf2go/internal/core"
 	"caf2go/internal/fabric"
+	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
 )
@@ -51,6 +52,7 @@ type spawnMsg struct {
 	finishID int64
 	event    *Event
 	data     []byte
+	rclk     race.Clock // spawner's clock at initiation (fork edge)
 }
 
 // payloadKey carries the spawn payload to the shipped function's Image.
@@ -83,7 +85,9 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 	st.spawnsSent++
 	img.traceInstant("spawn", "ship")
 
-	msg := &spawnMsg{finishID: img.trackID(), event: o.event, data: nil}
+	// Fork edge: the child's clock starts from the spawner's at this
+	// program point (snapshotted before any relaxed-mode deferral).
+	msg := &spawnMsg{finishID: img.trackID(), event: o.event, data: nil, rclk: img.raceRelease()}
 	implicit := o.event == nil
 
 	var track any
@@ -98,7 +102,7 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 			msg.data = append([]byte(nil), o.data...)
 		}
 		msg.fn = fn
-		tok := st.newDelivToken()
+		tok := st.newDelivToken(msg.rclk)
 		st.kern.Send(target, tagSpawn, msg, rt.SendOpts{
 			Track:       track,
 			Class:       class,
@@ -121,6 +125,7 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 func (m *Machine) handleSpawn(d *rt.Delivery) {
 	msg := d.Payload.(*spawnMsg)
 	st := m.states[d.Img.Rank()]
+	from := d.Src
 	d.Detach()
 	st.kern.Go("spawn", func(p *sim.Proc) {
 		st.spawnsExecuted++
@@ -128,6 +133,9 @@ func (m *Machine) handleSpawn(d *rt.Delivery) {
 		// cofence inside it observes only operations it launched
 		// (dynamic scoping, paper Fig. 10 / §III-B3).
 		img := &Image{m: m, st: st, proc: p, inheritedFinish: msg.finishID, ct: m.newTracker()}
+		if rs := m.race; rs != nil {
+			img.rc = rs.d.NewCtx(m.raceChanArrive(from, st.kern.Rank(), msg.rclk))
+		}
 		if msg.data != nil {
 			img.payload = &payloadCarrier{data: msg.data}
 		}
@@ -137,11 +145,23 @@ func (m *Machine) handleSpawn(d *rt.Delivery) {
 		// Spawned context exit is a synchronization point for any
 		// initiations it deferred.
 		img.ct.Flush()
-		if msg.event != nil {
-			m.notifyFrom(d.Img.Rank(), msg.event)
-		}
-		d.Complete()
+		m.spawnJoin(img, msg.event, msg.finishID, d)
 	})
+}
+
+// spawnJoin installs a completed shipped function's join edge: an
+// implicit spawn releases its final clock into the enclosing finish (the
+// finish exit is ordered after the child's body), an explicit one into
+// its completion event; then the delivery completes.
+func (m *Machine) spawnJoin(img *Image, event *Event, finishID int64, d *rt.Delivery) {
+	if rs := m.race; rs != nil && img.rc != nil && event == nil && finishID != 0 {
+		fs := rs.finishSyncFor(finishID)
+		img.rc.ReleaseInto(&fs.ops)
+	}
+	if event != nil {
+		m.notifyFrom(img.Rank(), event, img.raceRelease())
+	}
+	d.Complete()
 }
 
 // classForBytes picks the message class by payload size.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"caf2go/internal/core"
+	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
 )
@@ -44,6 +45,7 @@ type namedSpawnMsg struct {
 	blob     []byte // gob-encoded argument list
 	finishID int64
 	event    *Event
+	rclk     race.Clock // spawner's clock at initiation (fork edge)
 }
 
 // encodeArgs serializes the argument list; the byte count is the modeled
@@ -105,7 +107,7 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 	st.spawnsSent++
 	img.traceInstant("spawn:"+name, "ship")
 
-	msg := &namedSpawnMsg{name: name, blob: blob, finishID: img.trackID(), event: o.event}
+	msg := &namedSpawnMsg{name: name, blob: blob, finishID: img.trackID(), event: o.event, rclk: img.raceRelease()}
 	implicit := o.event == nil
 	var track any
 	if implicit {
@@ -113,7 +115,7 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 	}
 	bytes := len(blob) + 32 + len(name)
 	send := func() {
-		tok := st.newDelivToken()
+		tok := st.newDelivToken(msg.rclk)
 		st.kern.Send(target, tagSpawnNamed, msg, rt.SendOpts{
 			Track:       track,
 			Class:       classForBytes(img.m, bytes),
@@ -136,10 +138,14 @@ func (m *Machine) handleSpawnNamed(d *rt.Delivery) {
 	msg := d.Payload.(*namedSpawnMsg)
 	st := m.states[d.Img.Rank()]
 	fn := m.registry.fns[msg.name]
+	from := d.Src
 	d.Detach()
 	st.kern.Go("spawn:"+msg.name, func(p *sim.Proc) {
 		st.spawnsExecuted++
 		img := &Image{m: m, st: st, proc: p, inheritedFinish: msg.finishID, ct: m.newTracker()}
+		if rs := m.race; rs != nil {
+			img.rc = rs.d.NewCtx(m.raceChanArrive(from, st.kern.Rank(), msg.rclk))
+		}
 		args, err := decodeArgs(msg.blob)
 		if err != nil {
 			panic(fmt.Sprintf("caf: cannot unmarshal arguments of %q: %v", msg.name, err))
@@ -148,9 +154,6 @@ func (m *Machine) handleSpawnNamed(d *rt.Delivery) {
 		fn(img, args)
 		img.traceSpan("spawn-exec:"+msg.name, "ship", execStart)
 		img.ct.Flush()
-		if msg.event != nil {
-			m.notifyFrom(d.Img.Rank(), msg.event)
-		}
-		d.Complete()
+		m.spawnJoin(img, msg.event, msg.finishID, d)
 	})
 }
