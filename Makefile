@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -17,6 +17,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# What .github/workflows/ci.yml runs.
+ci: vet build test
+	$(GO) test -race -short ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

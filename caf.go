@@ -50,6 +50,15 @@ const (
 // FabricConfig re-exports the network cost model configuration.
 type FabricConfig = fabric.Config
 
+// FaultPlan re-exports the deterministic fault-injection configuration:
+// per-message drop/duplication probabilities, delivery jitter (reorder),
+// transient receiver stalls, and hard NIC crashes, all driven off a
+// seed-derived RNG so failing runs replay exactly. Attaching one to
+// Config.Faults also enables the fabric's reliability protocol (sequence
+// numbers, dedup, ack-timeout retransmission with capped backoff), which
+// keeps every construct above — finish counters included — exact.
+type FaultPlan = fabric.FaultPlan
+
 // DefaultFabric returns the default network cost model (Gemini-like:
 // 1.5us latency, ~1GB/s injection, 64 credits, FIFO delivery).
 func DefaultFabric() FabricConfig { return fabric.DefaultConfig() }
@@ -64,6 +73,12 @@ type Config struct {
 	// Fabric is the network cost model; the zero value means
 	// DefaultFabric().
 	Fabric FabricConfig
+	// Faults, when non-nil, injects deterministic network faults (loss,
+	// duplication, reorder, stalls, crashes) and enables the recovery
+	// protocol that survives them. Shorthand for setting Fabric.Faults;
+	// when both are set, Faults wins. nil leaves the fabric's idealized
+	// exactly-once behavior bit-identical to a fault-free build.
+	Faults *FaultPlan
 	// Relaxed enables the relaxed-memory-model initiation buffer:
 	// implicitly-synchronized asynchronous operations may defer their
 	// actual initiation until a synchronization point (cofence, event,
@@ -142,6 +157,9 @@ func NewMachine(cfg Config) *Machine {
 	}
 	if cfg.Fabric == (fabric.Config{}) {
 		cfg.Fabric = fabric.DefaultConfig()
+	}
+	if cfg.Faults != nil {
+		cfg.Fabric.Faults = cfg.Faults
 	}
 	if cfg.MaxDelayed == 0 {
 		cfg.MaxDelayed = 8
@@ -225,18 +243,27 @@ type Report struct {
 	ReduceRounds int64
 	// EventsRun counts simulator events (a cost/complexity proxy).
 	EventsRun uint64
+	// Retransmits, DupsDropped, and FaultsInjected report the reliability
+	// layer's work under fault injection: extra transmissions, duplicate
+	// deliveries suppressed by receiver dedup, and total faults (drops +
+	// duplications + stalls) the plan injected. All zero when
+	// Config.Faults is nil.
+	Retransmits, DupsDropped, FaultsInjected uint64
 }
 
 func (m *Machine) report() Report {
 	fs := m.k.Fabric().Stats()
 	ps := m.plane.Stats()
 	r := Report{
-		VirtualTime:  m.eng.Now(),
-		Msgs:         fs.MsgsSent,
-		Bytes:        fs.BytesSent,
-		FinishBlocks: ps.Finishes,
-		ReduceRounds: ps.ReduceRounds,
-		EventsRun:    m.eng.EventsRun(),
+		VirtualTime:    m.eng.Now(),
+		Msgs:           fs.MsgsSent,
+		Bytes:          fs.BytesSent,
+		FinishBlocks:   ps.Finishes,
+		ReduceRounds:   ps.ReduceRounds,
+		EventsRun:      m.eng.EventsRun(),
+		Retransmits:    fs.Retransmits,
+		DupsDropped:    fs.DupsDropped,
+		FaultsInjected: fs.FaultsInjected,
 	}
 	for _, st := range m.states {
 		r.SpawnsSent += st.spawnsSent
@@ -248,6 +275,14 @@ func (m *Machine) report() Report {
 
 // Engine exposes the simulation engine (benchmark harness use).
 func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// FabricStats re-exports the fabric counter snapshot, including the
+// fault/reliability counters (retransmits, dups dropped, abandoned
+// messages) beyond what Report surfaces.
+type FabricStats = fabric.Stats
+
+// FabricStats returns the machine's fabric counters.
+func (m *Machine) FabricStats() FabricStats { return m.k.Fabric().Stats() }
 
 // FinishRoundTimes returns the virtual times at which each termination-
 // detection round of an image's most recent finish completed

@@ -1,0 +1,288 @@
+// Package chaos is the fault-injection sweep harness: it runs the
+// runtime's flagship workloads — finish forests, event pipelines,
+// collectives, one-sided copies with cofences, UTS, and RandomAccess —
+// over fabrics configured with a FaultPlan, verifies application-level
+// results against ground truth, and checks the liveness/safety contract
+// of termination detection: finish never releases before the work it
+// supervises, and always releases once recovery has delivered it.
+//
+// Each workload returns an Outcome whose Fingerprint digests everything
+// observable about the run (results, virtual end time, message counts,
+// recovery counters). Equal seeds must produce equal fingerprints —
+// the determinism regression rides on that.
+package chaos
+
+import (
+	"fmt"
+
+	"caf2go/internal/ra"
+	"caf2go/internal/uts"
+
+	caf "caf2go"
+)
+
+// Outcome is the observable result of one workload run.
+type Outcome struct {
+	// Fingerprint digests results and timing; equal seeds ⇒ equal
+	// fingerprints.
+	Fingerprint string
+	// Report is the machine's final report.
+	Report caf.Report
+}
+
+// Workload is one verifiable program the chaos sweep can run.
+type Workload struct {
+	Name   string
+	Images int
+	// Run executes the workload under mcfg and verifies its results
+	// against ground truth, returning a non-nil error on any corruption,
+	// lost work, or early release.
+	Run func(mcfg caf.Config) (Outcome, error)
+}
+
+// Plan builds the standard sweep fault plan for a given seed and rate:
+// rate governs drop and duplication probability, with fixed reorder
+// jitter and occasional receiver stalls. rate 0 still exercises the
+// reliability protocol (seqnos, acks, dedup bookkeeping) with no faults.
+func Plan(seed int64, rate float64) *caf.FaultPlan {
+	return &caf.FaultPlan{
+		Seed:      seed,
+		Drop:      rate,
+		Dup:       rate / 2,
+		Jitter:    20 * caf.Microsecond, // 20us reorder window
+		StallProb: rate / 4,
+		Stall:     50 * caf.Microsecond,
+	}
+}
+
+// Workloads returns the full sweep suite.
+func Workloads() []Workload {
+	return []Workload{
+		finishForest(),
+		eventRing(),
+		collectives(),
+		cofenceCopies(),
+		utsWorkload(),
+		raWorkload(),
+	}
+}
+
+// finishForest spawns chains of remote functions under a finish and
+// checks the two halves of Theorem 1 observably: every transitively
+// spawned function ran (exactly once), and no image's Finish returned
+// before the last of them completed.
+func finishForest() Workload {
+	const n, chains, depth = 6, 3, 3
+	return Workload{Name: "finish-forest", Images: n, Run: func(mcfg caf.Config) (Outcome, error) {
+		mcfg.Images = n
+		executed := 0
+		var lastDone caf.Time
+		var earliestExit caf.Time = -1
+		var chain func(hop int) caf.SpawnFn
+		chain = func(hop int) caf.SpawnFn {
+			return func(img *caf.Image) {
+				executed++
+				img.Compute(5 * caf.Microsecond)
+				if img.Now() > lastDone {
+					lastDone = img.Now()
+				}
+				if hop < depth {
+					img.Spawn((img.Rank()+hop)%n, chain(hop+1), caf.WithBytes(64))
+				}
+			}
+		}
+		rep, err := caf.Run(mcfg, func(img *caf.Image) {
+			img.Finish(nil, func() {
+				for c := 0; c < chains; c++ {
+					img.Spawn((img.Rank()+c+1)%n, chain(1), caf.WithBytes(64))
+				}
+			})
+			if earliestExit < 0 || img.Now() < earliestExit {
+				earliestExit = img.Now()
+			}
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		want := n * chains * depth
+		if executed != want {
+			return Outcome{}, fmt.Errorf("executed %d spawns, want %d", executed, want)
+		}
+		if earliestExit < lastDone {
+			return Outcome{}, fmt.Errorf("finish released at %v before last spawn completed at %v",
+				earliestExit, lastDone)
+		}
+		return outcome(rep, executed, lastDone, earliestExit), nil
+	}}
+}
+
+// eventRing circulates a token around the images K times using event
+// notify/wait; faults on the notify path must delay, never lose or
+// double-deliver, the token.
+func eventRing() Workload {
+	const n, rounds = 4, 5
+	return Workload{Name: "events", Images: n, Run: func(mcfg caf.Config) (Outcome, error) {
+		mcfg.Images = n
+		evs := make([]*caf.Event, n)
+		var order []int
+		rep, err := caf.Run(mcfg, func(img *caf.Image) {
+			evs[img.Rank()] = img.NewEvent()
+			img.Barrier(nil)
+			if img.Rank() == 0 {
+				img.EventNotify(evs[0])
+			}
+			for k := 0; k < rounds; k++ {
+				img.EventWait(evs[img.Rank()])
+				order = append(order, img.Rank())
+				img.EventNotify(evs[(img.Rank()+1)%n])
+			}
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		if len(order) != n*rounds {
+			return Outcome{}, fmt.Errorf("token made %d hops, want %d", len(order), n*rounds)
+		}
+		for i, r := range order {
+			if r != i%n {
+				return Outcome{}, fmt.Errorf("hop %d visited image %d, want %d (order %v)", i, r, i%n, order)
+			}
+		}
+		return outcome(rep, order), nil
+	}}
+}
+
+// collectives loops allreduce/broadcast/barrier rounds and checks the
+// reductions against closed-form sums.
+func collectives() Workload {
+	const n, rounds = 8, 4
+	return Workload{Name: "collectives", Images: n, Run: func(mcfg caf.Config) (Outcome, error) {
+		mcfg.Images = n
+		sums := make([][]int64, 0, n*rounds)
+		bcasts := make([]any, 0, n*rounds)
+		rep, err := caf.Run(mcfg, func(img *caf.Image) {
+			for r := 0; r < rounds; r++ {
+				v := img.Allreduce(nil, caf.Sum, []int64{int64(img.Rank() + r), int64(img.Rank() * img.Rank())})
+				sums = append(sums, v)
+				root := r % n
+				b := img.Broadcast(nil, root, fmt.Sprintf("r%d-from-%d", r, root), 32)
+				bcasts = append(bcasts, b)
+				img.Barrier(nil)
+			}
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		var sq int64
+		for i := 0; i < n; i++ {
+			sq += int64(i) * int64(i)
+		}
+		for i, v := range sums {
+			r := i / n // barrier separates rounds, so blocks of n share a round
+			wantA := int64(n*(n-1)/2 + n*r)
+			if len(v) != 2 || v[0] != wantA || v[1] != sq {
+				return Outcome{}, fmt.Errorf("allreduce %d = %v, want [%d %d]", i, v, wantA, sq)
+			}
+		}
+		for i, b := range bcasts {
+			r := i / n
+			if want := fmt.Sprintf("r%d-from-%d", r, r%n); b != want {
+				return Outcome{}, fmt.Errorf("broadcast %d = %v, want %q", i, b, want)
+			}
+		}
+		return outcome(rep, sums, bcasts), nil
+	}}
+}
+
+// cofenceCopies does an all-to-all of one-sided puts under a finish,
+// with a cofence inside marking source-buffer reuse, and verifies every
+// element landed exactly once. The cofence covers local data completion
+// only; the finish's global completion is what makes the remote writes
+// visible — exactly the Fig. 4 split the paper draws.
+func cofenceCopies() Workload {
+	const n = 5
+	return Workload{Name: "cofence-copies", Images: n, Run: func(mcfg caf.Config) (Outcome, error) {
+		mcfg.Images = n
+		tables := make([][]int64, n)
+		rep, err := caf.Run(mcfg, func(img *caf.Image) {
+			ca := caf.NewCoarray[int64](img, nil, n)
+			me := img.Rank()
+			buf := make([]int64, 1)
+			img.Finish(nil, func() {
+				for dst := 0; dst < n; dst++ {
+					buf[0] = int64(1000*me + dst)
+					caf.CopyAsync(img, ca.Sec(dst, me, me+1), caf.Local(buf))
+					// Local data complete ⇒ the source buffer is reusable
+					// for the next iteration's value.
+					img.Cofence(caf.AllowNone, caf.AllowNone)
+				}
+			})
+			tables[me] = append([]int64(nil), ca.Local(img)...)
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		for dst, tab := range tables {
+			for src, got := range tab {
+				if want := int64(1000*src + dst); got != want {
+					return Outcome{}, fmt.Errorf("table[%d][%d] = %d, want %d", dst, src, got, want)
+				}
+			}
+		}
+		return outcome(rep, tables), nil
+	}}
+}
+
+// utsWorkload runs the work-stealing unbalanced tree search and checks
+// the parallel count against the sequential traversal of the same tree.
+func utsWorkload() Workload {
+	const n = 4
+	spec := uts.Scaled(6)
+	return Workload{Name: "uts", Images: n, Run: func(mcfg caf.Config) (Outcome, error) {
+		mcfg.Images = n
+		res, err := uts.Run(mcfg, uts.DefaultConfig(spec))
+		if err != nil {
+			return Outcome{}, err
+		}
+		if want := uts.CountSequential(spec).Nodes; res.TotalNodes != want {
+			return Outcome{}, fmt.Errorf("UTS counted %d nodes, sequential truth is %d", res.TotalNodes, want)
+		}
+		return outcome(res.Report, res.TotalNodes, res.PerImage, res.Time), nil
+	}}
+}
+
+// raWorkload runs RandomAccess in the function-shipping version (the
+// race-free variant) and requires a fully verified table.
+func raWorkload() Workload {
+	const n = 4
+	return Workload{Name: "randomaccess", Images: n, Run: func(mcfg caf.Config) (Outcome, error) {
+		mcfg.Images = n
+		cfg := ra.DefaultConfig(ra.FunctionShipping)
+		cfg.LocalTableBits = 8
+		cfg.UpdatesPerImage = 256
+		cfg.BunchSize = 32
+		res, err := ra.Run(mcfg, cfg)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if res.Errors != 0 {
+			return Outcome{}, fmt.Errorf("RandomAccess verify failed: %d table errors", res.Errors)
+		}
+		if res.Updates != cfg.UpdatesPerImage*int64(n) {
+			return Outcome{}, fmt.Errorf("applied %d updates, want %d", res.Updates, cfg.UpdatesPerImage*int64(n))
+		}
+		return outcome(res.Report, res.Updates, res.Time), nil
+	}}
+}
+
+// outcome assembles an Outcome: the fingerprint folds in the report's
+// timing, traffic, and recovery counters plus any workload-specific
+// values, so any divergence between same-seed runs shows up.
+func outcome(rep caf.Report, extra ...any) Outcome {
+	return Outcome{
+		Fingerprint: fmt.Sprintf("t=%d msgs=%d bytes=%d rtx=%d dup=%d inj=%d x=%v",
+			rep.VirtualTime, rep.Msgs, rep.Bytes,
+			rep.Retransmits, rep.DupsDropped, rep.FaultsInjected, extra),
+		Report: rep,
+	}
+}

@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"caf2go/internal/ra"
+	"caf2go/internal/sim"
+
+	caf "caf2go"
+)
+
+var sweepSeeds = []int64{1, 2, 3}
+var sweepRates = []float64{0, 0.05, 0.2}
+
+// TestChaosSweep is the acceptance sweep: every workload × seed × rate
+// combination (54 ≥ the required 20) must terminate, verify its results
+// against ground truth, and never release a finish early — the workload
+// Run functions fail on any of those. At the aggressive rate the sweep
+// must actually have injected and recovered from faults, or it proved
+// nothing.
+func TestChaosSweep(t *testing.T) {
+	perRate := map[float64]caf.Report{}
+	for _, w := range Workloads() {
+		for _, seed := range sweepSeeds {
+			for _, rate := range sweepRates {
+				w, seed, rate := w, seed, rate
+				t.Run(fmt.Sprintf("%s/seed=%d/rate=%g", w.Name, seed, rate), func(t *testing.T) {
+					out, err := w.Run(caf.Config{Seed: seed, Faults: Plan(seed, rate)})
+					if err != nil {
+						t.Fatalf("workload failed under faults: %v", err)
+					}
+					r := perRate[rate]
+					r.Retransmits += out.Report.Retransmits
+					r.DupsDropped += out.Report.DupsDropped
+					r.FaultsInjected += out.Report.FaultsInjected
+					perRate[rate] = r
+				})
+			}
+		}
+	}
+	if r := perRate[0.2]; r.FaultsInjected == 0 || r.Retransmits == 0 {
+		t.Errorf("aggressive sweep injected %d faults, %d retransmits — recovery never exercised",
+			r.FaultsInjected, r.Retransmits)
+	}
+	if r := perRate[0]; r.Retransmits != 0 {
+		t.Errorf("rate-0 plan caused %d retransmits; timeouts are too tight for fault-free runs", r.Retransmits)
+	}
+}
+
+// TestFaultsNilStaysClean pins the zero-overhead contract: with
+// Config.Faults nil the legacy exactly-once fabric runs and every
+// recovery counter stays zero.
+func TestFaultsNilStaysClean(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			out, err := w.Run(caf.Config{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := out.Report
+			if r.Retransmits != 0 || r.DupsDropped != 0 || r.FaultsInjected != 0 {
+				t.Errorf("Faults=nil run reported rtx=%d dup=%d inj=%d, want all 0",
+					r.Retransmits, r.DupsDropped, r.FaultsInjected)
+			}
+		})
+	}
+}
+
+// TestSameSeedBitIdentical is the determinism regression: the same
+// workload under the same seed and fault plan must reproduce the same
+// fingerprint (virtual end time, traffic, recovery counters, results)
+// and the same Report, run to run.
+func TestSameSeedBitIdentical(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			cfg := caf.Config{Seed: 7, Faults: Plan(7, 0.2)}
+			a, err := w.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := w.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Fingerprint != b.Fingerprint {
+				t.Errorf("same seed diverged:\n run1 %s\n run2 %s", a.Fingerprint, b.Fingerprint)
+			}
+			if !reflect.DeepEqual(a.Report, b.Report) {
+				t.Errorf("reports differ:\n run1 %+v\n run2 %+v", a.Report, b.Report)
+			}
+		})
+	}
+}
+
+// TestConflictLogDeterministic runs the racy get-update-put RandomAccess
+// with conflict detection over a faulty fabric twice: the conflict log —
+// order and content — must be identical across runs.
+func TestConflictLogDeterministic(t *testing.T) {
+	cfg := ra.DefaultConfig(ra.GetUpdatePut)
+	cfg.LocalTableBits = 7
+	cfg.UpdatesPerImage = 128
+	cfg.BunchSize = 16
+	run := func() ra.Result {
+		res, err := ra.Run(caf.Config{
+			Images:          4,
+			Seed:            5,
+			DetectConflicts: true,
+			Faults:          Plan(5, 0.1),
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Conflicts != b.Conflicts {
+		t.Errorf("conflict counts differ: %d vs %d", a.Conflicts, b.Conflicts)
+	}
+	if !reflect.DeepEqual(a.ConflictLog, b.ConflictLog) {
+		t.Errorf("conflict logs differ:\n run1 %v\n run2 %v", a.ConflictLog, b.ConflictLog)
+	}
+	if a.Time != b.Time {
+		t.Errorf("virtual end times differ: %v vs %v", a.Time, b.Time)
+	}
+}
+
+// TestCrashNeverTerminatesEarly: hard-crashing an image mid-run must
+// never let a supervising finish conclude — work on the dead image can
+// no longer complete, so the run must end in a detected deadlock, not a
+// false success.
+func TestCrashNeverTerminatesEarly(t *testing.T) {
+	w := finishForest()
+	plan := Plan(9, 0.05)
+	plan.Crash = map[int]caf.Time{2: 200 * caf.Microsecond}
+	out, err := w.Run(caf.Config{Seed: 9, Faults: plan})
+	if err == nil {
+		t.Fatalf("run with a crashed image succeeded (fingerprint %s): finish terminated early", out.Fingerprint)
+	}
+	var dead *sim.DeadlockError
+	if !errors.As(err, &dead) {
+		t.Fatalf("expected a deadlock from the crashed image, got: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package collect
+
+import (
+	"fmt"
+	"testing"
+
+	"caf2go/internal/fabric"
+	"caf2go/internal/rt"
+	"caf2go/internal/sim"
+	"caf2go/internal/team"
+)
+
+// runSPMDFaulty mirrors runSPMD but builds the kernel over a faulty fabric:
+// tree edges drop, duplicate, and reorder, and the reliability layer must
+// retransmit them transparently.
+func runSPMDFaulty(t testing.TB, n int, seed int64, plan *fabric.FaultPlan,
+	body func(p *sim.Proc, img *rt.ImageKernel, c *Comm, w *team.Team)) fabric.Stats {
+	t.Helper()
+	cfg := fabric.DefaultConfig()
+	cfg.Faults = plan
+	eng := sim.NewEngine(seed)
+	k := rt.NewKernel(eng, n, cfg)
+	c := New(k)
+	w := team.World(n)
+	for i := 0; i < n; i++ {
+		img := k.Image(i)
+		img.Go("main", func(p *sim.Proc) { body(p, img, c, w) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return k.Fabric().Stats()
+}
+
+// TestAllreduceCorrectUnderFaults: every tree edge of the up/down sweep is
+// subject to drop/dup/jitter, yet each image must still see the exact sum
+// — a lost child contribution or a double-applied one would skew it.
+func TestAllreduceCorrectUnderFaults(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 16} {
+		for seed := int64(1); seed <= 3; seed++ {
+			n, seed := n, seed
+			t.Run(fmt.Sprintf("n=%d seed=%d", n, seed), func(t *testing.T) {
+				plan := &fabric.FaultPlan{Seed: seed, Drop: 0.3, Dup: 0.3, Jitter: 20 * sim.Microsecond}
+				got := make([][]int64, n)
+				fs := runSPMDFaulty(t, n, seed, plan, func(p *sim.Proc, img *rt.ImageKernel, c *Comm, w *team.Team) {
+					r := int64(img.Rank())
+					got[img.Rank()] = c.Allreduce(p, img, w, Sum, []int64{r + 1, r * r})
+				})
+				wantA := int64(n) * int64(n+1) / 2
+				var wantB int64
+				for i := 0; i < n; i++ {
+					wantB += int64(i) * int64(i)
+				}
+				for i, g := range got {
+					if len(g) != 2 || g[0] != wantA || g[1] != wantB {
+						t.Errorf("image %d allreduce = %v, want [%d %d]", i, g, wantA, wantB)
+					}
+				}
+				if n > 2 && fs.Retransmits == 0 && fs.DupsDropped == 0 {
+					t.Error("fault plan injected nothing — test exercised no recovery")
+				}
+			})
+		}
+	}
+}
+
+// TestBarrierAndBroadcastUnderFaults: control edges (zero-payload barrier
+// tokens, broadcast fan-out) retry like any other message; the barrier must
+// still not release anyone before the last arrival.
+func TestBarrierAndBroadcastUnderFaults(t *testing.T) {
+	const n = 7
+	plan := &fabric.FaultPlan{Seed: 3, Drop: 0.25, Dup: 0.25, Jitter: 10 * sim.Microsecond}
+	exits := make([]sim.Time, n)
+	var lastEnter sim.Time
+	vals := make([]any, n)
+	runSPMDFaulty(t, n, 11, plan, func(p *sim.Proc, img *rt.ImageKernel, c *Comm, w *team.Team) {
+		p.Sleep(sim.Time(img.Rank()) * 15 * sim.Microsecond)
+		if p.Now() > lastEnter {
+			lastEnter = p.Now()
+		}
+		c.Barrier(p, img, w)
+		exits[img.Rank()] = p.Now()
+		vals[img.Rank()] = c.Broadcast(p, img, w, 2, map[bool]string{true: "root-payload"}[img.Rank() == 2], 32)
+	})
+	for i, e := range exits {
+		if e < lastEnter {
+			t.Errorf("image %d released from barrier at %v before last entry %v", i, e, lastEnter)
+		}
+	}
+	for i, v := range vals {
+		if v != "root-payload" {
+			t.Errorf("image %d broadcast got %v", i, v)
+		}
+	}
+}

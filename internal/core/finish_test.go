@@ -33,8 +33,15 @@ type shipped func(img *rt.ImageKernel, p *sim.Proc, ref Ref)
 
 func newMachine(t testing.TB, n int, seed int64, cfg Config) *machine {
 	t.Helper()
+	return newMachineFabric(t, n, seed, cfg, fabric.DefaultConfig())
+}
+
+// newMachineFabric is newMachine with an explicit fabric cost model, for
+// exercising the finish plane over jittered or faulty delivery.
+func newMachineFabric(t testing.TB, n int, seed int64, cfg Config, fcfg fabric.Config) *machine {
+	t.Helper()
 	eng := sim.NewEngine(seed)
-	k := rt.NewKernel(eng, n, fabric.DefaultConfig())
+	k := rt.NewKernel(eng, n, fcfg)
 	m := &machine{eng: eng, k: k, comm: collect.New(k), w: team.World(n)}
 	m.pl = NewPlane(k, m.comm, cfg)
 	k.RegisterHandler(tagSpawn, func(d *rt.Delivery) {

@@ -10,6 +10,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/rand"
 
 	"caf2go/internal/sim"
 )
@@ -65,6 +66,15 @@ type Config struct {
 	// SelfLatency — the paper's runs placed 8 images per node (§IV).
 	// 0 or 1 means one NIC per image.
 	ImagesPerNode int
+	// Faults, when non-nil, injects deterministic packet loss,
+	// duplication, reorder, receiver stalls, and NIC crashes (fault.go),
+	// and switches the fabric onto its reliability protocol: sequence
+	// numbers, receiver dedup, and ack-timeout retransmission. nil keeps
+	// the idealized exactly-once transport, bit-identical to a fabric
+	// built before fault injection existed. Note that a faulty fabric
+	// never delivers in FIFO order (retransmission alone breaks it), so
+	// Config.FIFO is ignored when Faults is set.
+	Faults *FaultPlan
 }
 
 // DefaultConfig returns the cost model used by the benchmark harness.
@@ -111,13 +121,24 @@ type SendOpts struct {
 	OnDelivered func()
 }
 
-// Stats aggregates fabric-wide counters.
+// Stats aggregates fabric-wide counters. MsgsSent counts transmissions
+// (retransmits included); the fault/reliability counters below it are all
+// zero when Config.Faults is nil.
 type Stats struct {
 	MsgsSent    uint64
 	BytesSent   uint64
 	Acks        uint64
 	HandlerRuns uint64
 	CreditStall sim.Time // total virtual time messages waited for credits
+
+	Retransmits    uint64 // transmissions beyond each message's first
+	DupsDropped    uint64 // duplicate data deliveries suppressed by dedup
+	DupAcks        uint64 // redundant acks ignored by the sender
+	FaultsInjected uint64 // drops + duplications + stalls injected
+	Dropped        uint64 // transmissions (data or ack) lost on the wire
+	Duplicated     uint64 // deliveries duplicated on the wire
+	Stalls         uint64 // receiver handler-context stalls injected
+	Abandoned      uint64 // messages given up on (crash or MaxAttempts)
 }
 
 // Fabric is a set of endpoints sharing one cost model and engine.
@@ -126,6 +147,11 @@ type Fabric struct {
 	cfg   Config
 	eps   []*Endpoint
 	stats Stats
+
+	// Fault-injection state (fault.go); reliable is cfg.Faults != nil.
+	reliable bool
+	plan     FaultPlan
+	frng     *rand.Rand
 }
 
 // New builds a fabric with n endpoints (image 0..n-1).
@@ -137,6 +163,11 @@ func New(eng *sim.Engine, n int, cfg Config) *Fabric {
 		cfg.AckLatency = cfg.Latency
 	}
 	f := &Fabric{eng: eng, cfg: cfg}
+	if cfg.Faults != nil {
+		f.reliable = true
+		f.plan = cfg.Faults.withDefaults(cfg)
+		f.frng = eng.DeriveRand(0x4641554C ^ f.plan.Seed)
+	}
 	f.eps = make([]*Endpoint, n)
 	nics := make(map[int]*nicState)
 	for i := range f.eps {
@@ -235,9 +266,36 @@ type Endpoint struct {
 
 	lastArrival map[int]sim.Time // per-destination FIFO enforcement
 
-	// Per-endpoint counters.
+	// Reliability-protocol state, used only when the fabric has a fault
+	// plan: per-destination sequence numbers, un-acked transmissions, and
+	// per-source delivery dedup.
+	nextSeq map[int]uint64
+	pending map[txKey]*txState
+	dedup   map[int]*dedupState
+
+	// Per-endpoint counters. Sent counts transmissions (retransmits
+	// included); Received counts unique deliveries (dups excluded).
 	Sent     uint64
 	Received uint64
+}
+
+// txKey names one logical message on the sender: destination rank plus
+// the per-destination sequence number.
+type txKey struct {
+	dst int
+	seq uint64
+}
+
+// txState tracks one logical message from first injection until its ack
+// lands (or the sender gives up).
+type txState struct {
+	m         *Msg
+	opts      SendOpts
+	seq       uint64
+	attempts  int
+	acked     bool
+	abandoned bool
+	timer     *sim.Timer
 }
 
 // Rank returns the endpoint's image index.
@@ -274,8 +332,19 @@ func (ep *Endpoint) Send(m *Msg, opts SendOpts) {
 	if _, ok := ep.f.eps[m.Dst].handlers[m.Tag]; !ok {
 		panic(fmt.Sprintf("fabric: no handler for tag %d at endpoint %d", m.Tag, m.Dst))
 	}
+	if ep.f.reliable && ep.f.crashedNow(ep.rank) {
+		// A dead NIC injects nothing; the message vanishes without any
+		// completion callback — supervising layers must never conclude
+		// success from silence.
+		ep.f.stats.Abandoned++
+		return
+	}
 	if ep.f.cfg.Credits > 0 && ep.outstanding >= ep.f.cfg.Credits {
 		ep.sendq = append(ep.sendq, queuedSend{m: m, opts: opts, queuedAt: ep.f.eng.Now()})
+		return
+	}
+	if ep.f.reliable {
+		ep.startTx(m, opts)
 		return
 	}
 	ep.inject(m, opts)
@@ -372,6 +441,197 @@ func (ep *Endpoint) drainQueue() {
 		if f.cfg.StallPenalty > 0 {
 			ep.nic.free += f.cfg.StallPenalty
 		}
-		ep.inject(q.m, q.opts)
+		if f.reliable {
+			ep.startTx(q.m, q.opts)
+		} else {
+			ep.inject(q.m, q.opts)
+		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Reliability protocol (active only with a fault plan, see fault.go).
+//
+// Sequence numbers per (src,dst) pair, receiver-side dedup, and
+// ack-timeout retransmission turn the lossy faulty wire back into an
+// exactly-once transport for the layers above: the handler runs once per
+// logical message and OnDelivered fires once per logical message, no
+// matter how many transmissions, duplications, or lost acks it took.
+// ---------------------------------------------------------------------
+
+// startTx assigns the next sequence number toward m.Dst, takes a credit,
+// and performs the first transmission.
+func (ep *Endpoint) startTx(m *Msg, opts SendOpts) {
+	if ep.nextSeq == nil {
+		ep.nextSeq = make(map[int]uint64)
+		ep.pending = make(map[txKey]*txState)
+	}
+	seq := ep.nextSeq[m.Dst]
+	ep.nextSeq[m.Dst] = seq + 1
+	tx := &txState{m: m, opts: opts, seq: seq}
+	ep.pending[txKey{m.Dst, seq}] = tx
+	ep.outstanding++
+	tx.timer = ep.f.eng.NewTimer(func() { ep.onAckTimeout(tx) })
+	ep.transmit(tx)
+}
+
+// retransmitAfter is the ack timeout for the given attempt number:
+// exponential backoff on the plan's base, capped at BackoffCap doublings.
+func (f *Fabric) retransmitAfter(attempts int) sim.Time {
+	shift := attempts - 1
+	if shift > f.plan.BackoffCap {
+		shift = f.plan.BackoffCap
+	}
+	return f.plan.AckTimeout << uint(shift)
+}
+
+// transmit performs one (re)transmission of tx: it pays the injection
+// cost, arms the ack timer, and — faults permitting — schedules delivery.
+func (ep *Endpoint) transmit(tx *txState) {
+	f := ep.f
+	eng := f.eng
+	m := tx.m
+	tx.attempts++
+	if tx.attempts > 1 {
+		f.stats.Retransmits++
+	}
+	ep.Sent++
+	f.stats.MsgsSent++
+	f.stats.BytesSent += uint64(m.Bytes)
+
+	// Serialize injection on the sender NIC (every attempt pays again).
+	start := eng.Now()
+	if ep.nic.free > start {
+		start = ep.nic.free
+	}
+	injected := start + sim.Time(m.Bytes)*f.cfg.GapPerByte
+	ep.nic.free = injected
+	if tx.attempts == 1 && tx.opts.OnInjected != nil {
+		eng.At(injected, tx.opts.OnInjected)
+	}
+
+	// Arm the retransmission timer from the moment the payload is on the
+	// wire, with this attempt's backoff.
+	tx.timer.Reset(injected - eng.Now() + f.retransmitAfter(tx.attempts))
+
+	// Wire faults: loss first, then duplication/jitter on what survives.
+	if f.roll(f.plan.Drop) {
+		f.stats.Dropped++
+		f.stats.FaultsInjected++
+		return // lost; the ack timer recovers
+	}
+	dst := f.eps[m.Dst]
+	base := injected + f.wireLatency(m.Src, m.Dst)
+	eng.At(base+f.jitterDelay(), func() { dst.deliverReliable(m, ep, tx.seq) })
+	if f.roll(f.plan.Dup) {
+		f.stats.Duplicated++
+		f.stats.FaultsInjected++
+		eng.At(base+f.jitterDelay(), func() { dst.deliverReliable(m, ep, tx.seq) })
+	}
+}
+
+// onAckTimeout fires when a transmission's ack did not return in time:
+// retransmit, or abandon if the peer (or this NIC) is dead or the attempt
+// budget is spent.
+func (ep *Endpoint) onAckTimeout(tx *txState) {
+	if tx.acked || tx.abandoned {
+		return
+	}
+	f := ep.f
+	if f.crashedNow(ep.rank) || f.crashedNow(tx.m.Dst) || tx.attempts >= f.plan.MaxAttempts {
+		tx.abandoned = true
+		f.stats.Abandoned++
+		delete(ep.pending, txKey{tx.m.Dst, tx.seq})
+		// Release the flow-control credit so unrelated traffic keeps
+		// moving, but fire no completion callback: the supervising layer
+		// must observe the loss (a finish block will simply never
+		// terminate — the never-early side of Theorem 1).
+		ep.outstanding--
+		ep.drainQueue()
+		return
+	}
+	ep.transmit(tx)
+}
+
+// deliverReliable runs at (possibly duplicated, possibly reordered)
+// message arrival on the destination endpoint: dedup decides whether the
+// handler runs; an ack is returned either way so the sender stops
+// retransmitting even when its first ack was lost.
+func (ep *Endpoint) deliverReliable(m *Msg, src *Endpoint, seq uint64) {
+	f := ep.f
+	eng := f.eng
+	if f.crashedNow(ep.rank) {
+		return // dead NIC: arriving packets vanish
+	}
+	handlerAt := eng.Now()
+	if f.roll(f.plan.StallProb) {
+		f.stats.Stalls++
+		f.stats.FaultsInjected++
+		stallFrom := ep.recvFree
+		if handlerAt > stallFrom {
+			stallFrom = handlerAt
+		}
+		ep.recvFree = stallFrom + f.plan.Stall
+	}
+	if ep.recvFree > handlerAt {
+		handlerAt = ep.recvFree
+	}
+	done := handlerAt + f.cfg.AMOverhead
+	ep.recvFree = done
+
+	eng.At(done, func() {
+		if ep.dedup == nil {
+			ep.dedup = make(map[int]*dedupState)
+		}
+		d := ep.dedup[src.rank]
+		if d == nil {
+			d = &dedupState{}
+			ep.dedup[src.rank] = d
+		}
+		if d.mark(seq) {
+			ep.Received++
+			f.stats.HandlerRuns++
+			ep.handlers[m.Tag](ep, m)
+		} else {
+			f.stats.DupsDropped++
+		}
+
+		// Ack back to the sender — also for dups, since the duplicate may
+		// be a retransmission whose original ack was lost. The ack is a
+		// packet too: it can be dropped.
+		if f.roll(f.plan.Drop) {
+			f.stats.Dropped++
+			f.stats.FaultsInjected++
+			return
+		}
+		ackAt := eng.Now() + f.wireLatency(m.Dst, m.Src)
+		if f.cfg.AckLatency != f.cfg.Latency && m.Src != m.Dst {
+			ackAt = eng.Now() + f.cfg.AckLatency
+		}
+		eng.At(ackAt, func() { src.onAckArrival(m.Dst, seq) })
+	})
+}
+
+// onAckArrival processes a delivery ack on the sender. Exactly the first
+// ack per logical message releases the credit and fires OnDelivered;
+// redundant acks (from dups or retransmissions) are counted and ignored.
+func (ep *Endpoint) onAckArrival(peer int, seq uint64) {
+	f := ep.f
+	if f.crashedNow(ep.rank) {
+		return
+	}
+	tx, ok := ep.pending[txKey{peer, seq}]
+	if !ok || tx.acked {
+		f.stats.DupAcks++
+		return
+	}
+	tx.acked = true
+	tx.timer.Stop()
+	delete(ep.pending, txKey{peer, seq})
+	f.stats.Acks++
+	ep.outstanding--
+	if tx.opts.OnDelivered != nil {
+		tx.opts.OnDelivered()
+	}
+	ep.drainQueue()
 }

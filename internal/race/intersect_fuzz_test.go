@@ -1,0 +1,69 @@
+package race
+
+import "testing"
+
+// bruteIntersect is the differential oracle for RangesIntersect: walk the
+// first strided set element by element and test membership in the second.
+// Only valid on windows small enough to enumerate — the fuzz harness clamps
+// inputs accordingly.
+func bruteIntersect(lo1, hi1, s1, lo2, hi2, s2 int) bool {
+	step := s1
+	if step <= 1 {
+		step = 1
+	}
+	for x := lo1; x < hi1; x += step {
+		if x < lo2 || x >= hi2 {
+			continue
+		}
+		if s2 <= 1 || (x-lo2)%s2 == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// clampRange maps arbitrary fuzz integers onto a window the oracle can
+// enumerate: offsets in [-64, 64), extents in [0, 128), steps in [-2, 14).
+// Negative and zero steps stay reachable on purpose — they exercise the
+// "contiguous" (≤ 1) branch.
+func clampRange(lo, hi, s int) (int, int, int) {
+	lo = mod(lo, 128) - 64
+	hi = lo + mod(hi, 128)
+	s = mod(s, 16) - 2
+	return lo, hi, s
+}
+
+// FuzzRangesIntersect differentially checks the CRT-based strided
+// intersection against brute-force enumeration. A disagreement in either
+// direction is a soundness bug: false negatives lose races, false
+// positives report phantom conflicts.
+func FuzzRangesIntersect(f *testing.F) {
+	seeds := [][6]int{
+		{0, 10, 1, 5, 15, 1},     // contiguous overlap
+		{0, 10, 2, 1, 11, 2},     // interleaved even/odd columns: disjoint
+		{0, 100, 6, 3, 99, 4},    // gcd 2, offsets misaligned
+		{0, 100, 6, 4, 100, 4},   // gcd 2, offsets aligned — meet at 16
+		{-40, 40, 7, -39, 33, 5}, // negative window, coprime steps
+		{5, 5, 3, 0, 50, 2},      // empty first range
+		{0, 60, 12, 6, 60, 12},   // same step, shifted phase: disjoint
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4], s[5])
+	}
+	f.Fuzz(func(t *testing.T, lo1, hi1, s1, lo2, hi2, s2 int) {
+		lo1, hi1, s1 = clampRange(lo1, hi1, s1)
+		lo2, hi2, s2 = clampRange(lo2, hi2, s2)
+		got := RangesIntersect(lo1, hi1, s1, lo2, hi2, s2)
+		want := bruteIntersect(lo1, hi1, s1, lo2, hi2, s2)
+		if got != want {
+			t.Errorf("RangesIntersect(%d,%d,%d, %d,%d,%d) = %v, brute force says %v",
+				lo1, hi1, s1, lo2, hi2, s2, got, want)
+		}
+		// Intersection is symmetric; the CRT branch must agree with its
+		// own mirror too.
+		if sym := RangesIntersect(lo2, hi2, s2, lo1, hi1, s1); sym != got {
+			t.Errorf("asymmetric: (%d,%d,%d)x(%d,%d,%d) = %v but mirrored = %v",
+				lo1, hi1, s1, lo2, hi2, s2, got, sym)
+		}
+	})
+}

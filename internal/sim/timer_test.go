@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	eng := NewEngine(1)
+	var firedAt Time = -1
+	tm := eng.NewTimer(func() { firedAt = eng.Now() })
+	tm.Reset(5 * Microsecond)
+	if !tm.Active() {
+		t.Error("armed timer not active")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 5*Microsecond {
+		t.Errorf("fired at %v, want 5us", firedAt)
+	}
+	if tm.Active() {
+		t.Error("expired timer still active")
+	}
+}
+
+func TestTimerStopDiscardsPendingExpiry(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	tm := eng.NewTimer(func() { fired = true })
+	tm.Reset(5 * Microsecond)
+	eng.After(1*Microsecond, func() { tm.Stop() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	eng := NewEngine(1)
+	var fires []Time
+	tm := eng.NewTimer(func() { fires = append(fires, eng.Now()) })
+	tm.Reset(5 * Microsecond)
+	// Re-arm before the first expiry: only the second schedule may fire.
+	eng.After(1*Microsecond, func() { tm.Reset(10 * Microsecond) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 1 || fires[0] != 11*Microsecond {
+		t.Errorf("fires = %v, want [11us]", fires)
+	}
+}
+
+func TestTimerRearmFromCallback(t *testing.T) {
+	eng := NewEngine(1)
+	count := 0
+	var tm *Timer
+	tm = eng.NewTimer(func() {
+		count++
+		if count < 3 {
+			tm.Reset(2 * Microsecond)
+		}
+	})
+	tm.Reset(2 * Microsecond)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("periodic re-arm fired %d times, want 3", count)
+	}
+	if eng.Now() != 6*Microsecond {
+		t.Errorf("clock = %v, want 6us", eng.Now())
+	}
+}
