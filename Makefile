@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench ci figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench bench-json bench-json-quick fuzz-smoke ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -18,12 +18,24 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# What .github/workflows/ci.yml runs.
+# What .github/workflows/ci.yml runs (the workflow adds fuzz-smoke).
 ci: vet build test
 	$(GO) test -race -short ./internal/...
+	$(GO) run ./cmd/benchjson -quick
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the committed coalescing benchmark artifact.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_coalesce.json
+
+bench-json-quick:
+	$(GO) run ./cmd/benchjson -quick
+
+# Short fuzz pass over the conflict-range intersection kernel.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRangesIntersect -fuzztime=30s -run '^$$' ./internal/race
 
 figures:
 	$(GO) run ./cmd/figures -out results

@@ -59,6 +59,20 @@ type FabricConfig = fabric.Config
 // keeps every construct above — finish counters included — exact.
 type FaultPlan = fabric.FaultPlan
 
+// Coalescing re-exports the fabric's adaptive message-coalescing
+// configuration: per-destination aggregation of small AMs into batched
+// wire packets, flushed by size threshold, virtual-time timeout, or a
+// synchronization barrier. The zero value disables coalescing and keeps
+// the fabric bit-identical to a build without it.
+type Coalescing = fabric.Coalescing
+
+// Flush reasons surfaced by the coalescing trace events and Stats.
+const (
+	FlushBySize    = fabric.FlushBySize
+	FlushByTimer   = fabric.FlushByTimer
+	FlushByBarrier = fabric.FlushByBarrier
+)
+
 // DefaultFabric returns the default network cost model (Gemini-like:
 // 1.5us latency, ~1GB/s injection, 64 credits, FIFO delivery).
 func DefaultFabric() FabricConfig { return fabric.DefaultConfig() }
@@ -86,6 +100,12 @@ type Config struct {
 	Relaxed bool
 	// MaxDelayed caps the relaxed-mode initiation buffer (default 8).
 	MaxDelayed int
+	// Coalescing, when non-zero, batches small AMs per destination in
+	// the fabric. Shorthand for setting Fabric.Coalescing; when both are
+	// set, Coalescing wins. The zero value leaves the fabric's
+	// message-per-send behavior bit-identical to a build without
+	// coalescing.
+	Coalescing Coalescing
 	// FinishNoWait selects the speculative termination-detection variant
 	// without the Fig. 7 wait-until precondition (the Fig. 18 baseline).
 	FinishNoWait bool
@@ -161,8 +181,20 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.Faults != nil {
 		cfg.Fabric.Faults = cfg.Faults
 	}
+	if cfg.Coalescing.Enabled() {
+		cfg.Fabric.Coalescing = cfg.Coalescing
+	}
 	if cfg.MaxDelayed == 0 {
 		cfg.MaxDelayed = 8
+	}
+	var tracer *trace.Recorder
+	if cfg.TraceCapacity > 0 {
+		tracer = trace.NewRecorder(cfg.TraceCapacity)
+		if cfg.Fabric.Coalescing.Enabled() {
+			// Per-flush trace instants; wired before the kernel copies
+			// the fabric config.
+			cfg.Fabric.FlushObserver = &flushTracer{tr: tracer}
+		}
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	k := rt.NewKernel(eng, cfg.Images, cfg.Fabric)
@@ -179,9 +211,7 @@ func NewMachine(cfg Config) *Machine {
 		coarrays: make(map[carrKey]*carrSlot),
 	}
 	m.plane = core.NewPlane(k, m.comm, core.Config{WaitQuiescent: !cfg.FinishNoWait})
-	if cfg.TraceCapacity > 0 {
-		m.tracer = trace.NewRecorder(cfg.TraceCapacity)
-	}
+	m.tracer = tracer
 	if cfg.DetectConflicts {
 		m.conflicts = &conflictState{}
 	}
@@ -212,8 +242,10 @@ func (m *Machine) Launch(main func(img *Image)) {
 			}
 			main(img)
 			// Program exit is a synchronization point: flush any
-			// deferred initiations so the machine drains.
+			// deferred initiations and coalescing buffers so the
+			// machine drains.
 			img.ct.Flush()
+			st.kern.FlushCoalesced()
 		})
 	}
 }
@@ -249,6 +281,15 @@ type Report struct {
 	// duplications + stalls) the plan injected. All zero when
 	// Config.Faults is nil.
 	Retransmits, DupsDropped, FaultsInjected uint64
+	// MsgsCoalesced counts messages that rode in multi-message batches
+	// (each batch counts once in Msgs); Flushes breaks down why the
+	// aggregation buffers emptied. All zero when Config.Coalescing is
+	// the zero value.
+	MsgsCoalesced uint64
+	Flushes       uint64
+	FlushBySize   uint64
+	FlushByTimer  uint64
+	FlushByBarrier uint64
 }
 
 func (m *Machine) report() Report {
@@ -264,6 +305,11 @@ func (m *Machine) report() Report {
 		Retransmits:    fs.Retransmits,
 		DupsDropped:    fs.DupsDropped,
 		FaultsInjected: fs.FaultsInjected,
+		MsgsCoalesced:  fs.MsgsCoalesced,
+		Flushes:        fs.Flushes,
+		FlushBySize:    fs.FlushBySize,
+		FlushByTimer:   fs.FlushByTimer,
+		FlushByBarrier: fs.FlushByBarrier,
 	}
 	for _, st := range m.states {
 		r.SpawnsSent += st.spawnsSent

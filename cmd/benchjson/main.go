@@ -1,0 +1,52 @@
+// Command benchjson runs the message-coalescing benchmark-regression
+// sweep — RandomAccess function shipping and the Fig. 12 cofence loop,
+// coalesced vs. uncoalesced — and writes the result as JSON (the
+// committed BENCH_coalesce.json artifact).
+//
+//	go run ./cmd/benchjson -out BENCH_coalesce.json
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"caf2go/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default: stdout)")
+	quick := flag.Bool("quick", false, "seconds-scale smoke sweep")
+	flag.Parse()
+
+	o := bench.DefaultCoalesce()
+	if *quick {
+		o = bench.SmokeCoalesce()
+	}
+
+	wall := time.Now()
+	rep, err := bench.Coalesce(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sweep done in %v wall time", time.Since(wall).Round(time.Millisecond))
+	for w, red := range rep.MsgReduction {
+		log.Printf("%s: %.2fx fewer wire packets, %.2fx faster", w, red, rep.Speedup[w])
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -328,7 +328,7 @@ func (m *Machine) gatePredicate(fromRank int, e *Event, fn func(clk race.Clock))
 		e:          e,
 		resumeRank: fromRank,
 		resume:     fn,
-	}, rt.SendOpts{Class: fabric.AMShort, Bytes: 24})
+	}, rt.SendOpts{Class: fabric.AMShort, Bytes: 24, NoCoalesce: true})
 }
 
 // eventClock copies the event's accumulated release clock.
@@ -390,7 +390,7 @@ func (m *Machine) handleEventChain(d *rt.Delivery) {
 	m.whenPosted(msg.e, func() {
 		m.states[here].kern.Send(msg.resumeRank, tagResume,
 			&resumeMsg{fn: msg.resume, clk: m.eventClock(msg.e)},
-			rt.SendOpts{Class: fabric.AMShort, Bytes: 16})
+			rt.SendOpts{Class: fabric.AMShort, Bytes: 16, NoCoalesce: true})
 	})
 }
 

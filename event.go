@@ -110,9 +110,11 @@ func (m *Machine) notifyFrom(fromRank int, e *Event, clk race.Clock) {
 		m.post(e)
 		return
 	}
+	// Notifies release waiters parked on the owner: never coalesce them.
 	m.states[fromRank].kern.Send(e.owner, tagEventNotify, &eventNotifyMsg{e: e, clk: clk}, rt.SendOpts{
-		Class: fabric.AMShort,
-		Bytes: 16,
+		Class:      fabric.AMShort,
+		Bytes:      16,
+		NoCoalesce: true,
 	})
 }
 
@@ -132,8 +134,11 @@ func (m *Machine) eventRelease(e *Event, clk race.Clock) {
 // may proceed before the notify lands (§III-B4a).
 func (img *Image) EventNotify(e *Event) {
 	st := img.st
-	// Release boundary: deferred initiations must actually start.
+	// Release boundary: deferred initiations must actually start, and
+	// buffered coalesced messages must be on the wire before the notify —
+	// a waiter must observe their effects.
 	img.ct.Flush()
+	img.st.kern.FlushCoalesced()
 	from := img.Rank()
 	// Release clock: the notifier's clock at the notify, joined below
 	// with the clocks of the outstanding remote updates the notify waits
@@ -152,8 +157,10 @@ func (img *Image) EventWait(e *Event) {
 	if e.owner != img.Rank() {
 		panic(fmt.Sprintf("caf: image %d waiting on %v hosted elsewhere", img.Rank(), e))
 	}
-	// Acquire is a synchronization point for deferred initiations too.
+	// Acquire is a synchronization point for deferred initiations and
+	// for this image's coalescing buffers.
 	img.ct.Flush()
+	img.st.kern.FlushCoalesced()
 	start := img.Now()
 	es := img.m.eventState(e)
 	es.waiters = append(es.waiters, img.proc)

@@ -2,7 +2,9 @@
 // (paper §II-C1). Image 0 orchestrates a data pipeline across images
 // 1..N-1 without ever holding the data itself: each stage's copy is
 // predicated on the previous stage's destination event, so the chain
-// flows hop by hop while image 0 does other work.
+// flows hop by hop while image 0 does other work. The program logic
+// lives in examples/workloads so the golden determinism suite can pin
+// it.
 //
 //	go run ./examples/pipeline
 package main
@@ -12,6 +14,7 @@ import (
 	"log"
 
 	caf "caf2go"
+	"caf2go/examples/workloads"
 )
 
 const (
@@ -20,65 +23,11 @@ const (
 )
 
 func main() {
-	var pathSum int64
-	var orchestratorIdleAt, chainDoneAt caf.Time
-
-	rep, err := caf.Run(caf.Config{Images: images, Seed: 5}, func(img *caf.Image) {
-		me := img.Rank()
-		ca := caf.NewCoarray[int64](img, nil, words)
-		if me == 1 {
-			// Stage 1 holds the source data.
-			loc := ca.Local(img)
-			for i := range loc {
-				loc[i] = int64(i + 1)
-			}
-		}
-		img.Barrier(nil)
-
-		if me != 0 {
-			return // only the orchestrator issues operations
-		}
-
-		// Build the chain: copy stage k -> stage k+1, each predicated on
-		// the previous hop's completion. All events live on image 0.
-		events := make([]*caf.Event, images)
-		for k := 2; k < images; k++ {
-			events[k] = img.NewEvent()
-		}
-		for k := 2; k < images; k++ {
-			opts := []caf.CopyOpt{caf.DestEvent(events[k])}
-			if k > 2 {
-				opts = append(opts, caf.Pred(events[k-1]))
-			}
-			// Third-party: image 0 moves data from k-1 to k without
-			// owning either side.
-			caf.CopyAsync(img, ca.At(k), ca.At(k-1), opts...)
-		}
-		orchestratorIdleAt = img.Now() // all hops issued; initiation only
-
-		// Overlap: orchestrator computes while the pipeline flows.
-		img.Compute(500 * caf.Microsecond)
-
-		img.EventWait(events[images-1])
-		chainDoneAt = img.Now()
-
-		// Validate the final stage's data.
-		final := caf.Get(img, ca.At(images-1))
-		for _, v := range final {
-			pathSum += v
-		}
-	})
+	res, err := workloads.Pipeline(caf.Config{Images: images, Seed: 5}, words)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	want := int64(words * (words + 1) / 2)
 	fmt.Printf("pipeline over %d stages, %d words\n", images-1, words)
-	fmt.Printf("  all hops initiated by: %v (initiation completion only)\n", orchestratorIdleAt)
-	fmt.Printf("  chain delivered at:    %v\n", chainDoneAt)
-	fmt.Printf("  final-stage checksum:  %d (want %d)\n", pathSum, want)
-	fmt.Printf("  simulated total: %v, %d messages\n", rep.VirtualTime, rep.Msgs)
-	if pathSum != want {
-		log.Fatal("pipeline corrupted the data")
-	}
+	fmt.Printf("  final-stage checksum:  %s (want pathSum=%d)\n", res.Check, words*(words+1)/2)
+	fmt.Printf("  simulated total: %v, %d messages\n", res.Report.VirtualTime, res.Report.Msgs)
 }

@@ -4,7 +4,8 @@
 // a function to its right neighbour inside a finish block (so global
 // completion is guaranteed), then image 0 asynchronously broadcasts a
 // result buffer and every image synchronizes with a cofence before
-// reading it.
+// reading it. The program logic lives in examples/workloads so the
+// golden determinism suite can pin it.
 //
 //	go run ./examples/quickstart
 package main
@@ -12,61 +13,26 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	caf "caf2go"
+	"caf2go/examples/workloads"
 )
 
 func main() {
-	const images = 8
-	greetings := make([]string, images)
-
-	rep, err := caf.Run(caf.Config{Images: images, Seed: 42}, func(img *caf.Image) {
-		me := img.Rank()
-
-		// --- Function shipping under finish -------------------------
-		// Every image ships work to its right neighbour. finish blocks
-		// until ALL shipped functions — on every image — completed.
-		img.Finish(nil, func() {
-			right := (me + 1) % images
-			img.Spawn(right, func(remote *caf.Image) {
-				remote.Compute(50 * caf.Microsecond) // pretend to work
-				greetings[remote.Rank()] = fmt.Sprintf(
-					"image %d greeted by image %d at %v",
-					remote.Rank(), me, remote.Now())
-			})
-		})
-
-		// --- Coarrays + asynchronous copy + cofence -----------------
-		ca := caf.NewCoarray[int64](img, nil, images)
-		if me == 0 {
-			// Scatter a value to every image's shard, asynchronously.
-			src := []int64{7777}
-			for dst := 0; dst < images; dst++ {
-				caf.CopyAsync(img, ca.Sec(dst, 0, 1), caf.Local(src))
-			}
-			// Local data completion only: src is reusable, transfers
-			// may still be in flight — exactly what a producer needs.
-			img.Cofence(caf.AllowNone, caf.AllowNone)
-			src[0] = 0 // safe now
-		}
-		img.Barrier(nil)
-		if got := ca.Local(img)[0]; got != 7777 {
-			log.Fatalf("image %d: expected 7777, got %d", me, got)
-		}
-
-		// --- A collective to wrap up --------------------------------
-		sum := img.Allreduce(nil, caf.Sum, []int64{int64(me)})
-		if me == 0 {
-			fmt.Printf("allreduce over ranks = %d (expected %d)\n", sum[0], images*(images-1)/2)
-		}
-	})
+	res, err := workloads.Quickstart(caf.Config{Images: 8, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	for _, g := range greetings {
+	// Check is "sum=<allreduce> greetings=<g0>|<g1>|..."; print one
+	// greeting per line.
+	sum, greetings, _ := strings.Cut(res.Check, " greetings=")
+	fmt.Printf("allreduce over ranks: %s\n", strings.TrimPrefix(sum, "sum="))
+	for _, g := range strings.Split(greetings, "|") {
 		fmt.Println(g)
 	}
+	rep := res.Report
 	fmt.Printf("\nsimulated time: %v | messages: %d | spawns: %d | finish rounds: %d\n",
 		rep.VirtualTime, rep.Msgs, rep.SpawnsExecuted, rep.ReduceRounds)
 }

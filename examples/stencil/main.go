@@ -16,7 +16,8 @@
 //
 // Both variants use one barrier per iteration to guarantee ghost
 // arrival; the overlapped variant still wins because its communication
-// rides under the interior update.
+// rides under the interior update. The program logic lives in
+// examples/workloads so the golden determinism suite can pin it.
 //
 //	go run ./examples/stencil
 package main
@@ -26,6 +27,7 @@ import (
 	"log"
 
 	caf "caf2go"
+	"caf2go/examples/workloads"
 )
 
 const (
@@ -34,86 +36,22 @@ const (
 	iters  = 50
 )
 
-func run(overlap bool) (caf.Time, float64) {
-	var checksum float64
-	rep, err := caf.Run(caf.Config{Images: images, Seed: 7}, func(img *caf.Image) {
-		me := img.Rank()
-		left := (me + images - 1) % images
-		right := (me + 1) % images
-
-		// cur[0] and cur[block+1] are ghost cells.
-		cur := caf.NewCoarray[float64](img, nil, block+2)
-		next := caf.NewCoarray[float64](img, nil, block+2)
-		c0 := cur.Local(img)
-		for i := 1; i <= block; i++ {
-			c0[i] = float64(me*block + i)
-		}
-		img.Barrier(nil)
-
-		var ev *caf.Event
-		if !overlap {
-			ev = img.NewEvent()
-		}
-
-		interior := func(c, n []float64) {
-			for i := 2; i < block; i++ {
-				n[i] = 0.5*c[i] + 0.25*(c[i-1]+c[i+1])
-			}
-			img.Compute(caf.Time(block) * 40 * caf.Nanosecond)
-		}
-
-		for it := 0; it < iters; it++ {
-			c := cur.Local(img)
-			n := next.Local(img)
-
-			if overlap {
-				// Push boundaries asynchronously with implicit
-				// completion, overlap with the interior, then use local
-				// data completion to retire the pushes.
-				caf.CopyAsync(img, cur.Sec(left, block+1, block+2), cur.Sec(me, 1, 2))
-				caf.CopyAsync(img, cur.Sec(right, 0, 1), cur.Sec(me, block, block+1))
-				interior(c, n)
-				img.Cofence(caf.AllowNone, caf.AllowNone)
-			} else {
-				// Exposed latency: wait for delivery before computing.
-				caf.CopyAsync(img, cur.Sec(left, block+1, block+2), cur.Sec(me, 1, 2), caf.DestEvent(ev))
-				caf.CopyAsync(img, cur.Sec(right, 0, 1), cur.Sec(me, block, block+1), caf.DestEvent(ev))
-				img.EventWait(ev)
-				img.EventWait(ev)
-				interior(c, n)
-			}
-
-			// Ghost arrival is global: one barrier per iteration.
-			img.Barrier(nil)
-
-			n[1] = 0.5*c[1] + 0.25*(c[0]+c[2])
-			n[block] = 0.5*c[block] + 0.25*(c[block-1]+c[block+1])
-
-			cur, next = next, cur
-		}
-
-		sumLocal := 0.0
-		for _, v := range cur.Local(img)[1 : block+1] {
-			sumLocal += v
-		}
-		total := img.Allreduce(nil, caf.Sum, []int64{int64(sumLocal * 1000)})
-		if me == 0 {
-			checksum = float64(total[0]) / 1000
-		}
-	})
+func main() {
+	cfg := caf.Config{Images: images, Seed: 7}
+	over, err := workloads.Stencil(cfg, block, iters, true)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return rep.VirtualTime, checksum
-}
+	blk, err := workloads.Stencil(cfg, block, iters, false)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-func main() {
-	tOverlap, sumOverlap := run(true)
-	tBlocking, sumBlocking := run(false)
+	tOverlap, tBlocking := over.Report.VirtualTime, blk.Report.VirtualTime
 	fmt.Printf("1-D Jacobi, %d images x %d cells, %d iterations\n", images, block, iters)
-	fmt.Printf("  blocking halo exchange:   %v (checksum %.3f)\n", tBlocking, sumBlocking)
-	fmt.Printf("  overlapped w/ cofence:    %v (checksum %.3f)\n", tOverlap, sumOverlap)
-	if sumOverlap != sumBlocking {
+	fmt.Printf("  blocking halo exchange:   %v (%s)\n", tBlocking, blk.Check)
+	fmt.Printf("  overlapped w/ cofence:    %v (%s)\n", tOverlap, over.Check)
+	if over.Check != blk.Check {
 		log.Fatal("checksums differ: overlap changed the answer")
 	}
 	if tOverlap < tBlocking {

@@ -9,7 +9,8 @@
 //     but spends more reduction rounds (Fig. 18).
 //
 // The program prints how much work each detector actually waited for and
-// the rounds used.
+// the rounds used. The program logic lives in examples/workloads so the
+// golden determinism suite can pin it.
 //
 //	go run ./examples/termination
 package main
@@ -17,106 +18,46 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	caf "caf2go"
-	"caf2go/internal/baseline"
+	"caf2go/examples/workloads"
 )
 
 const (
 	images    = 16
 	seedTasks = 3 // tasks each image roots
 	maxDepth  = 4 // transitive spawn chain length
-	taskWork  = 300 * caf.Microsecond
 )
-
-// chain recursively ships work: the exact pattern barriers cannot detect.
-func chain(img *caf.Image, depth int, rng *rand.Rand, completed *int64) {
-	img.Compute(taskWork)
-	*completed++
-	if depth > 0 {
-		img.Spawn(rng.Intn(images), func(r *caf.Image) {
-			chain(r, depth-1, rng, completed)
-		})
-	}
-}
-
-func withFinish(noWait bool) (completedAtExit int64, rounds int, total int64) {
-	var completed int64
-	var r int
-	_, err := caf.Run(caf.Config{Images: images, Seed: 7, FinishNoWait: noWait}, func(img *caf.Image) {
-		rng := img.Random()
-		r = img.Finish(nil, func() {
-			for t := 0; t < seedTasks; t++ {
-				img.Spawn(rng.Intn(images), func(rm *caf.Image) {
-					chain(rm, maxDepth, rng, &completed)
-				})
-			}
-		})
-		if img.Rank() == 0 {
-			completedAtExit = completed
-		}
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return completedAtExit, r, completed
-}
-
-func withBarrier() (completedAtExit int64, total int64) {
-	var completed int64
-	_, err := caf.Run(caf.Config{Images: images, Seed: 7}, func(img *caf.Image) {
-		rng := img.Random()
-		var bchain func(r *caf.Image, depth int, spawn func(int, baseline.SpawnFn))
-		bchain = func(r *caf.Image, depth int, spawn func(int, baseline.SpawnFn)) {
-			r.Compute(taskWork)
-			completed++
-			if depth > 0 {
-				spawn(rng.Intn(images), func(rm *caf.Image, nested func(int, baseline.SpawnFn)) {
-					bchain(rm, depth-1, nested)
-				})
-			}
-		}
-		res := baseline.BarrierFinish(img, func(spawn func(int, baseline.SpawnFn)) {
-			for t := 0; t < seedTasks; t++ {
-				spawn(rng.Intn(images), func(rm *caf.Image, nested func(int, baseline.SpawnFn)) {
-					bchain(rm, maxDepth, nested)
-				})
-			}
-		})
-		if img.Rank() == 0 {
-			completedAtExit = completed
-		}
-		_ = res
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return completedAtExit, completed
-}
 
 func main() {
 	expect := int64(images * seedTasks * (maxDepth + 1))
+	cfg := caf.Config{Images: images, Seed: 7}
 
-	atExitB, totalB := withBarrier()
-	atExitF, roundsF, totalF := withFinish(false)
-	atExitN, roundsN, totalN := withFinish(true)
+	bar, err := workloads.TerminationBarrier(cfg, seedTasks, maxDepth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fin, err := workloads.TerminationFinish(cfg, seedTasks, maxDepth)
+	if err != nil {
+		log.Fatalf("BUG: the finish detector exited early: %v", err)
+	}
+	nwCfg := cfg
+	nwCfg.FinishNoWait = true
+	nw, err := workloads.TerminationFinish(nwCfg, seedTasks, maxDepth)
+	if err != nil {
+		log.Fatalf("BUG: the no-wait finish variant exited early: %v", err)
+	}
 
 	fmt.Printf("dynamic task graph: %d images x %d seeds x chain %d = %d tasks\n\n",
 		images, seedTasks, maxDepth+1, expect)
-	fmt.Printf("%-34s %14s %12s %8s\n", "detector", "done at exit", "done total", "rounds")
-	fmt.Printf("%-34s %8d/%d %12d %8s\n", "event-wait + barrier (Fig. 5)", atExitB, expect, totalB, "-")
-	fmt.Printf("%-34s %8d/%d %12d %8d\n", "finish (Fig. 7)", atExitF, expect, totalF, roundsF)
-	fmt.Printf("%-34s %8d/%d %12d %8d\n", "finish w/o upper bound", atExitN, expect, totalN, roundsN)
+	fmt.Printf("%-34s %s\n", "event-wait + barrier (Fig. 5)", bar.Check)
+	fmt.Printf("%-34s %s\n", "finish (Fig. 7)", fin.Check)
+	fmt.Printf("%-34s %s\n", "finish w/o upper bound", nw.Check)
 
-	if atExitB == expect {
+	if bar.Check == fmt.Sprintf("atExit=%d total=%d", expect, expect) {
 		fmt.Println("\n(barrier scheme got lucky this seed — rerun with another)")
 	} else {
-		fmt.Printf("\nthe barrier scheme exited with %d tasks still outstanding — the Fig. 5 failure;\n",
-			expect-atExitB)
+		fmt.Println("\nthe barrier scheme exited with tasks still outstanding — the Fig. 5 failure;")
 		fmt.Println("both finish variants waited for all of them, the bounded one in fewer rounds.")
-	}
-	if atExitF != expect || atExitN != expect {
-		log.Fatal("BUG: a finish variant exited early")
 	}
 }

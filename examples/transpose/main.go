@@ -3,7 +3,9 @@
 // row blocks; each image pushes, for every destination image, a
 // contiguous row segment of A into a strided column of the destination's
 // block of Aᵀ — Fortran's A(i, j0:j1)[p] → B(:, i)[q] pattern, which is
-// exactly what coarray sections with strides express.
+// exactly what coarray sections with strides express. The program logic
+// lives in examples/workloads so the golden determinism suite can pin
+// it.
 //
 //	go run ./examples/transpose
 package main
@@ -13,6 +15,7 @@ import (
 	"log"
 
 	caf "caf2go"
+	"caf2go/examples/workloads"
 )
 
 const (
@@ -21,55 +24,12 @@ const (
 )
 
 func main() {
-	blk := n / images
-	var checked int
-
-	rep, err := caf.Run(caf.Config{Images: images, Seed: 1}, func(img *caf.Image) {
-		me := img.Rank()
-		// a: my block of rows [me*blk, (me+1)*blk) of A.
-		a := caf.NewCoarray2D[int64](img, nil, blk, n)
-		// b: my block of rows of Aᵀ (row r of b is column me*blk+r of A).
-		b := caf.NewCoarray2D[int64](img, nil, blk, n)
-
-		for r := 0; r < blk; r++ {
-			for c := 0; c < n; c++ {
-				*a.At(img, r, c) = int64((me*blk+r)*n + c)
-			}
-		}
-		img.Barrier(nil)
-
-		// Push phase: every local row r of A contributes one strided
-		// column write to each destination image.
-		img.Finish(nil, func() {
-			globalRow := me * blk
-			for r := 0; r < blk; r++ {
-				for dst := 0; dst < images; dst++ {
-					// Elements A[globalRow+r][dst*blk : (dst+1)*blk) land
-					// in column globalRow+r, rows 0..blk of image dst's b.
-					caf.CopyAsync(img,
-						b.ColSeg(dst, globalRow+r, 0, blk),
-						a.RowSeg(me, r, dst*blk, (dst+1)*blk))
-				}
-			}
-		})
-		img.Barrier(nil)
-
-		// Verify: b[r][c] must equal A[c][me*blk+r].
-		for r := 0; r < blk; r++ {
-			for c := 0; c < n; c++ {
-				want := int64(c*n + me*blk + r)
-				if got := *b.At(img, r, c); got != want {
-					log.Fatalf("image %d: b[%d][%d] = %d, want %d", me, r, c, got, want)
-				}
-			}
-		}
-		checked += blk * n
-	})
+	res, err := workloads.Transpose(caf.Config{Images: images, Seed: 1}, n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("transposed a %dx%d matrix across %d images: %d elements verified\n",
-		n, n, images, checked)
+	fmt.Printf("transposed a %dx%d matrix across %d images: %s elements verified\n",
+		n, n, images, res.Check)
 	fmt.Printf("  %d one-sided strided copies, %d messages, %v simulated\n",
-		rep.Copies, rep.Msgs, rep.VirtualTime)
+		res.Report.Copies, res.Report.Msgs, res.Report.VirtualTime)
 }

@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	caf "caf2go"
+)
+
+// -update rewrites the golden files from the current runtime:
+//
+//	go test ./examples/workloads -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden report files")
+
+// goldenFile is the committed shape of one pinned run.
+type goldenFile struct {
+	Report caf.Report
+	Check  string
+}
+
+// goldenCases returns every examples/ program at small scale. The suite
+// pins the FULL caf.Report (virtual time, message/byte counts, spawn and
+// finish counters, and the coalescing/recovery counters) bit-for-bit:
+// any runtime change that perturbs scheduling, traffic, or accounting of
+// the legacy path shows up as a golden diff. Rows with a Coalescing
+// config additionally pin the adaptive-coalescing path, new counters
+// included.
+func goldenCases() []struct {
+	Name string
+	Run  func() (Result, error)
+} {
+	coal := caf.Coalescing{MaxMsgs: 8, MaxBytes: 2048, FlushAfter: 5 * caf.Microsecond}
+	return []struct {
+		Name string
+		Run  func() (Result, error)
+	}{
+		{"quickstart", func() (Result, error) {
+			return Quickstart(caf.Config{Images: 8, Seed: 42})
+		}},
+		{"quickstart-coalesced", func() (Result, error) {
+			return Quickstart(caf.Config{Images: 8, Seed: 42, Coalescing: coal})
+		}},
+		{"quickstart-coalesced-tiny", func() (Result, error) {
+			tiny := caf.Coalescing{MaxMsgs: 2, MaxBytes: 256, FlushAfter: 2 * caf.Microsecond}
+			return Quickstart(caf.Config{Images: 8, Seed: 42, Coalescing: tiny})
+		}},
+		{"stencil-overlap", func() (Result, error) {
+			return Stencil(caf.Config{Images: 8, Seed: 7}, 32, 5, true)
+		}},
+		{"stencil-blocking", func() (Result, error) {
+			return Stencil(caf.Config{Images: 8, Seed: 7}, 32, 5, false)
+		}},
+		{"worksteal-getput", func() (Result, error) {
+			return Worksteal(caf.Config{Images: 4, Seed: 3}, 16, 4, false)
+		}},
+		{"worksteal-shipping", func() (Result, error) {
+			return Worksteal(caf.Config{Images: 4, Seed: 3}, 16, 4, true)
+		}},
+		{"worksteal-shipping-coalesced", func() (Result, error) {
+			return Worksteal(caf.Config{Images: 4, Seed: 3, Coalescing: coal}, 16, 4, true)
+		}},
+		{"pipeline", func() (Result, error) {
+			return Pipeline(caf.Config{Images: 6, Seed: 5}, 32)
+		}},
+		{"termination-finish", func() (Result, error) {
+			return TerminationFinish(caf.Config{Images: 8, Seed: 7}, 2, 3)
+		}},
+		{"termination-nowait", func() (Result, error) {
+			return TerminationFinish(caf.Config{Images: 8, Seed: 7, FinishNoWait: true}, 2, 3)
+		}},
+		{"termination-barrier", func() (Result, error) {
+			return TerminationBarrier(caf.Config{Images: 8, Seed: 7}, 2, 3)
+		}},
+		{"termination-finish-coalesced", func() (Result, error) {
+			return TerminationFinish(caf.Config{Images: 8, Seed: 7, Coalescing: coal}, 2, 3)
+		}},
+		{"transpose", func() (Result, error) {
+			return Transpose(caf.Config{Images: 4, Seed: 1}, 16)
+		}},
+	}
+}
+
+// TestGoldenReports executes every example workload at small scale and
+// compares the full report against the committed golden file. This is
+// the regression net under the runtime: legacy-path rows must stay
+// bit-identical across any change that claims to be off by default.
+func TestGoldenReports(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			res, err := tc.Run()
+			if err != nil {
+				t.Fatalf("workload failed: %v", err)
+			}
+			got := goldenFile{Report: res.Report, Check: res.Check}
+			path := filepath.Join("testdata", tc.Name+".golden.json")
+
+			if *update {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			var want goldenFile
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("report diverged from %s:\n got: %s\nwant: %s",
+					path, mustJSON(got), mustJSON(want))
+			}
+		})
+	}
+}
+
+// TestGoldenDeterminism re-runs one workload per program and demands the
+// identical Result, independent of goldens — a same-process determinism
+// check that stays meaningful even right after -update.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			a, err := tc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("same-config runs diverged:\n 1st: %s\n 2nd: %s",
+					mustJSON(a), mustJSON(b))
+			}
+		})
+	}
+}
+
+func mustJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%+v", v)
+	}
+	return string(data)
+}

@@ -3,6 +3,8 @@
 // get/put/lock protocol needs five network round trips per steal, the
 // function-shipping protocol two spawns — this example runs both over
 // the same workload inside a finish block and reports the difference.
+// The program logic lives in examples/workloads so the golden
+// determinism suite can pin it.
 //
 //	go run ./examples/worksteal
 package main
@@ -12,121 +14,30 @@ import (
 	"log"
 
 	caf "caf2go"
+	"caf2go/examples/workloads"
 )
 
 const (
 	images    = 8
 	tasks     = 64 // initial tasks on image 0 only (maximum imbalance)
-	taskCost  = 200 * caf.Microsecond
 	stealSize = 4
 )
 
-// pool is one image's task queue; meta mirrors the queue length in a
-// coarray so remote images can inspect it one-sidedly.
-type pool struct {
-	tasks []int64
-	done  int
-}
-
-func runVariant(shipping bool) (caf.Time, int) {
-	pools := make([]*pool, images)
-	totalDone := 0
-	rep, err := caf.Run(caf.Config{Images: images, Seed: 3}, func(img *caf.Image) {
-		me := img.Rank()
-		meta := caf.NewCoarray[int64](img, nil, 1) // remote-readable queue length
-		queue := caf.NewCoarray[int64](img, nil, tasks)
-		p := &pool{}
-		pools[me] = p
-		if me == 0 {
-			for i := 0; i < tasks; i++ {
-				p.tasks = append(p.tasks, int64(i))
-				queue.Local(img)[i] = int64(i)
-			}
-			meta.Local(img)[0] = tasks
-		}
-		img.Barrier(nil)
-
-		work := func(self *caf.Image, q *pool) {
-			for len(q.tasks) > 0 {
-				q.tasks = q.tasks[:len(q.tasks)-1]
-				self.Compute(taskCost)
-				q.done++
-				meta.Local(self)[0] = int64(len(q.tasks))
-			}
-		}
-
-		img.Finish(nil, func() {
-			work(img, p)
-			// Idle: steal until the pool master is drained.
-			for attempt := 0; attempt < 6 && me != 0; attempt++ {
-				if shipping {
-					// Fig. 3: ship the steal; victim operates locally,
-					// ships work back. Two messages.
-					got := img.NewEvent()
-					var stolen int64
-					img.Spawn(0, func(v *caf.Image) {
-						vp := pools[0]
-						n := stealSize
-						if n > len(vp.tasks) {
-							n = len(vp.tasks)
-						}
-						take := int64(n)
-						vp.tasks = vp.tasks[:len(vp.tasks)-n]
-						meta.Local(v)[0] = int64(len(vp.tasks))
-						v.Spawn(me, func(t *caf.Image) {
-							stolen = take
-							t.EventNotify(got)
-						}, caf.WithBytes(8*n+16))
-					})
-					img.EventWait(got)
-					for i := int64(0); i < stolen; i++ {
-						p.tasks = append(p.tasks, i)
-					}
-				} else {
-					// Fig. 2: five round trips with one-sided ops.
-					m := caf.Get(img, meta.Sec(0, 0, 1)) // 1: read metadata
-					if m[0] == 0 {
-						continue
-					}
-					img.Lock(0, 1)                      // 2: lock victim
-					m = caf.Get(img, meta.Sec(0, 0, 1)) // 3: re-read
-					n := int64(stealSize)
-					if n > m[0] {
-						n = m[0]
-					}
-					caf.Put(img, meta.Sec(0, 0, 1), []int64{m[0] - n}) // 4: reserve
-					w := caf.Get(img, queue.Sec(0, 0, int(n)))         // 5: fetch
-					img.Unlock(0, 1)
-					// Mirror the reservation in the victim's real pool.
-					img.Spawn(0, func(v *caf.Image) {
-						vp := pools[0]
-						k := int(n)
-						if k > len(vp.tasks) {
-							k = len(vp.tasks)
-						}
-						vp.tasks = vp.tasks[:len(vp.tasks)-k]
-					})
-					p.tasks = append(p.tasks, w[:n]...)
-				}
-				work(img, p)
-			}
-		})
-	})
+func main() {
+	cfg := caf.Config{Images: images, Seed: 3}
+	gp, err := workloads.Worksteal(cfg, tasks, stealSize, false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, q := range pools {
-		totalDone += q.done
+	fs, err := workloads.Worksteal(cfg, tasks, stealSize, true)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return rep.VirtualTime, totalDone
-}
 
-func main() {
-	tGetPut, doneGP := runVariant(false)
-	tShipping, doneFS := runVariant(true)
+	tGetPut, tShipping := gp.Report.VirtualTime, fs.Report.VirtualTime
 	fmt.Printf("work stealing, %d tasks seeded on image 0 of %d images\n", tasks, images)
-	fmt.Printf("  get/put/lock steals (Fig. 2): %v, %d tasks done\n", tGetPut, doneGP)
-	fmt.Printf("  shipped-fn steals   (Fig. 3): %v, %d tasks done\n", tShipping, doneFS)
+	fmt.Printf("  get/put/lock steals (Fig. 2): %v, %s\n", tGetPut, gp.Check)
+	fmt.Printf("  shipped-fn steals   (Fig. 3): %v, %s\n", tShipping, fs.Check)
 	if tShipping < tGetPut {
 		fmt.Println("  -> function shipping wins: 2 messages vs 5 round trips per steal")
 	}

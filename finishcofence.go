@@ -35,8 +35,10 @@ func (img *Image) Finish(t *Team, body func()) int {
 	img.finishStack = img.finishStack[:len(img.finishStack)-1]
 	// The end of a finish block is a synchronization point: deferred
 	// initiations must start or termination detection would wait on
-	// operations that never launch.
+	// operations that never launch, and coalescing buffers must drain so
+	// detection isn't gated on a flush timer.
 	img.ct.Flush()
+	img.st.kern.FlushCoalesced()
 	// Race-detector release: each member contributes its end-of-body
 	// clock; detection cannot signal termination before every member
 	// participates in the reduction, so the exit below acquires them all.
@@ -80,6 +82,9 @@ func (img *Image) Finish(t *Team, body func()) int {
 // paper's Fig. 9, letting pending local-write completions slide below.
 func (img *Image) Cofence(down, up Allow) {
 	start := img.Now()
+	// A cofence is a synchronization point: buffered coalesced messages
+	// must hit the wire before we wait on their completion.
+	img.st.kern.FlushCoalesced()
 	img.ct.Cofence(img.proc, down, up)
 	// Race-detector acquire: the fence ordered this context after the
 	// local data completion of every implicit op the DOWNWARD filter did

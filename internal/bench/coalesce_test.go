@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestCoalesceSweep is the benchmark-regression gate: at 64 images the
+// RandomAccess function-shipping traffic must send at least 2x fewer
+// wire packets with coalescing on, at unchanged results, and the run
+// must be faster, not slower.
+func TestCoalesceSweep(t *testing.T) {
+	o := SmokeCoalesce()
+	rep, err := Coalesce(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Rows); got != 2*(len(o.Cores)+len(o.Fig12Cores)) {
+		t.Fatalf("rows = %d, want %d", got, 2*(len(o.Cores)+len(o.Fig12Cores)))
+	}
+
+	if red := rep.MsgReduction["randomaccess-fs"]; red < 2.0 {
+		t.Errorf("RA message reduction at %d images = %.2fx, want >= 2x", o.Cores[len(o.Cores)-1], red)
+	}
+	if sp := rep.Speedup["randomaccess-fs"]; sp <= 1.0 {
+		t.Errorf("RA speedup = %.2fx, want > 1x — coalescing made RandomAccess slower", sp)
+	}
+
+	for _, row := range rep.Rows {
+		if !row.Coalesced {
+			if row.MsgsCoalesced != 0 || row.Flushes != 0 {
+				t.Errorf("%s p=%d uncoalesced row has coalescing counters: %+v", row.Workload, row.Images, row)
+			}
+			continue
+		}
+		if row.Workload == "randomaccess-fs" && row.MsgsCoalesced == 0 {
+			t.Errorf("%s p=%d coalesced row batched nothing", row.Workload, row.Images)
+		}
+		if row.Flushes != row.FlushBySize+row.FlushByTimer+row.FlushByBarrier {
+			t.Errorf("%s p=%d flush counters don't add up: %+v", row.Workload, row.Images, row)
+		}
+	}
+}
+
+// TestCoalesceSweepDeterministic: the whole sweep is a pure function of
+// its options — rerunning must reproduce every row bit-for-bit (the
+// property that makes BENCH_coalesce.json a committable artifact).
+func TestCoalesceSweepDeterministic(t *testing.T) {
+	o := SmokeCoalesce()
+	o.Cores = []int{16}
+	o.Fig12Cores = []int{16}
+	a, err := Coalesce(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Coalesce(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sweeps diverged:\n 1st: %+v\n 2nd: %+v", a, b)
+	}
+}
+
+// TestCoalesceReportJSONRoundTrips: the artifact encodes and decodes
+// cleanly (guards the field shape the tutorial documents).
+func TestCoalesceReportJSONRoundTrips(t *testing.T) {
+	o := SmokeCoalesce()
+	o.Cores = []int{8}
+	o.Fig12Cores = nil
+	rep, err := Coalesce(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back CoalesceReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("JSON round trip changed the report:\n out: %+v\n back: %+v", rep, back)
+	}
+}

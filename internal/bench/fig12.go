@@ -35,9 +35,11 @@ func (v fig12Variant) String() string {
 	return [...]string{"copy_async w/ finish", "copy_async w/ events", "copy_async w/ cofence"}[v]
 }
 
-// ProducerTime runs one Fig. 12 variant and returns the virtual makespan.
-func fig12Run(o Fig12Opts, p int, v fig12Variant) (caf.Time, error) {
-	rep, err := caf.Run(caf.Config{Images: p, Seed: o.Seed}, func(img *caf.Image) {
+// fig12Run runs one Fig. 12 variant and returns the run report. A
+// non-zero coal batches small AMs (the coalescing regression harness
+// re-runs the cofence variant with it).
+func fig12Run(o Fig12Opts, p int, v fig12Variant, coal caf.Coalescing) (caf.Report, error) {
+	rep, err := caf.Run(caf.Config{Images: p, Seed: o.Seed, Coalescing: coal}, func(img *caf.Image) {
 		ca := caf.NewCoarray[byte](img, nil, o.Bytes*o.Fan)
 		src := make([]byte, o.Bytes)
 		produce := func() {
@@ -93,7 +95,7 @@ func fig12Run(o Fig12Opts, p int, v fig12Variant) (caf.Time, error) {
 			}
 		}
 	})
-	return rep.VirtualTime, err
+	return rep, err
 }
 
 // Fig12 regenerates the cofence micro-benchmark figure: execution time of
@@ -114,12 +116,12 @@ func Fig12(o Fig12Opts) (Figure, error) {
 	for _, v := range []fig12Variant{variantFinish, variantEvents, variantCofence} {
 		s := Series{Label: v.String()}
 		for _, p := range o.Cores {
-			t, err := fig12Run(o, p, v)
+			rep, err := fig12Run(o, p, v, caf.Coalescing{})
 			if err != nil {
 				return fig, fmt.Errorf("fig12 %v p=%d: %w", v, p, err)
 			}
 			s.X = append(s.X, float64(p))
-			s.Y = append(s.Y, seconds(t))
+			s.Y = append(s.Y, seconds(rep.VirtualTime))
 		}
 		fig.Series = append(fig.Series, s)
 	}

@@ -280,9 +280,10 @@ func raWorkload() Workload {
 // values, so any divergence between same-seed runs shows up.
 func outcome(rep caf.Report, extra ...any) Outcome {
 	return Outcome{
-		Fingerprint: fmt.Sprintf("t=%d msgs=%d bytes=%d rtx=%d dup=%d inj=%d x=%v",
+		Fingerprint: fmt.Sprintf("t=%d msgs=%d bytes=%d rtx=%d dup=%d inj=%d coal=%d fl=%d x=%v",
 			rep.VirtualTime, rep.Msgs, rep.Bytes,
-			rep.Retransmits, rep.DupsDropped, rep.FaultsInjected, extra),
+			rep.Retransmits, rep.DupsDropped, rep.FaultsInjected,
+			rep.MsgsCoalesced, rep.Flushes, extra),
 		Report: rep,
 	}
 }

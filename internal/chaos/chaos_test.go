@@ -129,6 +129,102 @@ func TestConflictLogDeterministic(t *testing.T) {
 	}
 }
 
+// Coalescing configurations the chaos rows sweep: MaxMsgs varies the
+// batch granularity from eager (2) to wide (32).
+var sweepCoalescing = []int{2, 8, 32}
+
+// TestChaosSweepCoalesced composes the two optional fabric layers: every
+// workload runs with message coalescing AND a fault plan, over seed ×
+// rate × MaxMsgs. The workload Run functions verify ground truth and
+// exactly-once handler execution internally, so a batch that was
+// dropped, duplicated, or reordered and then mis-replayed shows up as a
+// hard failure here.
+func TestChaosSweepCoalesced(t *testing.T) {
+	var batched, recovered uint64
+	for _, w := range Workloads() {
+		for _, seed := range sweepSeeds {
+			for _, rate := range []float64{0, 0.1} {
+				for _, maxMsgs := range sweepCoalescing {
+					w, seed, rate, maxMsgs := w, seed, rate, maxMsgs
+					t.Run(fmt.Sprintf("%s/seed=%d/rate=%g/max=%d", w.Name, seed, rate, maxMsgs), func(t *testing.T) {
+						out, err := w.Run(caf.Config{
+							Seed:       seed,
+							Faults:     Plan(seed, rate),
+							Coalescing: caf.Coalescing{MaxMsgs: maxMsgs},
+						})
+						if err != nil {
+							t.Fatalf("workload failed under faults+coalescing: %v", err)
+						}
+						batched += out.Report.MsgsCoalesced
+						if rate > 0 {
+							recovered += out.Report.Retransmits
+						}
+					})
+				}
+			}
+		}
+	}
+	if batched == 0 {
+		t.Error("no messages were ever coalesced — the sweep never exercised batching")
+	}
+	if recovered == 0 {
+		t.Error("no retransmits under faults — the sweep never exercised batch recovery")
+	}
+}
+
+// TestCoalescedSameSeedBitIdentical: determinism holds with both layers
+// on — same seed, same fault plan, same coalescing config ⇒ identical
+// fingerprint and Report.
+func TestCoalescedSameSeedBitIdentical(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			cfg := caf.Config{
+				Seed:       7,
+				Faults:     Plan(7, 0.2),
+				Coalescing: caf.Coalescing{MaxMsgs: 8},
+			}
+			a, err := w.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := w.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Fingerprint != b.Fingerprint {
+				t.Errorf("same seed diverged:\n run1 %s\n run2 %s", a.Fingerprint, b.Fingerprint)
+			}
+			if !reflect.DeepEqual(a.Report, b.Report) {
+				t.Errorf("reports differ:\n run1 %+v\n run2 %+v", a.Report, b.Report)
+			}
+		})
+	}
+}
+
+// TestCoalescingOffStaysInert pins the zero-value contract from the
+// coalescing side: with Config.Coalescing zero every coalescing counter
+// stays zero, faults or not.
+func TestCoalescingOffStaysInert(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, faults := range []*caf.FaultPlan{nil, Plan(3, 0.1)} {
+				out, err := w.Run(caf.Config{Seed: 3, Faults: faults})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := out.Report
+				if r.MsgsCoalesced != 0 || r.Flushes != 0 || r.FlushBySize != 0 ||
+					r.FlushByTimer != 0 || r.FlushByBarrier != 0 {
+					t.Errorf("zero-valued Coalescing reported coal=%d fl=%d (s/t/b %d/%d/%d), want all 0",
+						r.MsgsCoalesced, r.Flushes, r.FlushBySize, r.FlushByTimer, r.FlushByBarrier)
+				}
+			}
+		})
+	}
+}
+
 // TestCrashNeverTerminatesEarly: hard-crashing an image mid-run must
 // never let a supervising finish conclude — work on the dead image can
 // no longer complete, so the run must end in a detected deadlock, not a

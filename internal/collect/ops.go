@@ -23,6 +23,9 @@ func (n *node) sendTree(in *inst, dstTeamRank int, m *colMsg, needAck, needInjec
 		Track: in.track,
 		Class: classFor(n.img.Kernel(), m.bytes),
 		Bytes: m.bytes,
+		// Collective tree messages sit on the critical path of barriers
+		// and finish termination rounds: never coalesce them.
+		NoCoalesce: true,
 	}
 	if needAck {
 		in.acksPending++
@@ -48,6 +51,9 @@ func (c *Comm) start(img *rt.ImageKernel, t *team.Team, kd kind, root int,
 	if root < 0 || root >= t.Size() {
 		panic(fmt.Sprintf("collect: root %d out of range for %v", root, t))
 	}
+	// A collective is a synchronization point: drain this image's
+	// coalescing buffers before joining.
+	img.FlushCoalesced()
 	n := c.nodes[img.Rank()]
 	key := instKey{teamID: t.ID(), kd: kd, root: root,
 		seq: n.nextSeq(t.ID(), kd, root)}

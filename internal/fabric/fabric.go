@@ -75,6 +75,13 @@ type Config struct {
 	// never delivers in FIFO order (retransmission alone breaks it), so
 	// Config.FIFO is ignored when Faults is set.
 	Faults *FaultPlan
+	// Coalescing, when non-zero, aggregates small AMs per destination
+	// into batched wire packets (coalesce.go). The zero value keeps the
+	// fabric bit-identical to one built before coalescing existed.
+	Coalescing Coalescing
+	// FlushObserver, when non-nil, is notified of every coalescing flush
+	// (per-flush trace events). Ignored when Coalescing is off.
+	FlushObserver FlushObserver
 }
 
 // DefaultConfig returns the cost model used by the benchmark harness.
@@ -119,6 +126,12 @@ type SendOpts struct {
 	// OnDelivered fires on the *sender* when the delivery ack returns
 	// (local operation completion for the sender).
 	OnDelivered func()
+	// NoCoalesce exempts this message from the coalescing buffer:
+	// latency-critical control traffic (blocking RPCs and their replies,
+	// event notifies, collective reductions) must not wait out a flush
+	// timer. A NoCoalesce message still flushes its destination's buffer
+	// first, preserving per-channel FIFO order.
+	NoCoalesce bool
 }
 
 // Stats aggregates fabric-wide counters. MsgsSent counts transmissions
@@ -139,6 +152,15 @@ type Stats struct {
 	Duplicated     uint64 // deliveries duplicated on the wire
 	Stalls         uint64 // receiver handler-context stalls injected
 	Abandoned      uint64 // messages given up on (crash or MaxAttempts)
+
+	// Coalescing counters (coalesce.go), all zero when Config.Coalescing
+	// is the zero value. MsgsCoalesced counts inner messages that rode in
+	// multi-message batches; each batch counts once in MsgsSent.
+	MsgsCoalesced  uint64
+	Flushes        uint64
+	FlushBySize    uint64
+	FlushByTimer   uint64
+	FlushByBarrier uint64
 }
 
 // Fabric is a set of endpoints sharing one cost model and engine.
@@ -152,6 +174,11 @@ type Fabric struct {
 	reliable bool
 	plan     FaultPlan
 	frng     *rand.Rand
+
+	// Coalescing state (coalesce.go); coalescing is cfg.Coalescing
+	// enabled, coal the defaulted thresholds.
+	coalescing bool
+	coal       Coalescing
 }
 
 // New builds a fabric with n endpoints (image 0..n-1).
@@ -163,6 +190,10 @@ func New(eng *sim.Engine, n int, cfg Config) *Fabric {
 		cfg.AckLatency = cfg.Latency
 	}
 	f := &Fabric{eng: eng, cfg: cfg}
+	if cfg.Coalescing.Enabled() {
+		f.coalescing = true
+		f.coal = cfg.Coalescing.withDefaults()
+	}
 	if cfg.Faults != nil {
 		f.reliable = true
 		f.plan = cfg.Faults.withDefaults(cfg)
@@ -273,6 +304,10 @@ type Endpoint struct {
 	pending map[txKey]*txState
 	dedup   map[int]*dedupState
 
+	// Per-destination aggregation buffers, used only when the fabric has
+	// coalescing enabled (coalesce.go).
+	coalesce map[int]*coalesceBuf
+
 	// Per-endpoint counters. Sent counts transmissions (retransmits
 	// included); Received counts unique deliveries (dups excluded).
 	Sent     uint64
@@ -307,6 +342,7 @@ func (ep *Endpoint) Fabric() *Fabric { return ep.f }
 // RegisterHandler binds tag to fn. Registering a tag twice panics: tags
 // are a static protocol namespace owned by the runtime layers.
 func (ep *Endpoint) RegisterHandler(tag uint16, fn Handler) {
+	checkBatchTag(tag)
 	if _, dup := ep.handlers[tag]; dup {
 		panic(fmt.Sprintf("fabric: endpoint %d: duplicate handler for tag %d", ep.rank, tag))
 	}
@@ -332,6 +368,23 @@ func (ep *Endpoint) Send(m *Msg, opts SendOpts) {
 	if _, ok := ep.f.eps[m.Dst].handlers[m.Tag]; !ok {
 		panic(fmt.Sprintf("fabric: no handler for tag %d at endpoint %d", m.Tag, m.Dst))
 	}
+	if ep.f.coalescing {
+		if ep.coalescible(m, opts) {
+			ep.enqueueCoalesced(m, opts)
+			return
+		}
+		// A non-coalescible message must not overtake buffered traffic
+		// on its own channel: flush that destination first.
+		ep.flushDst(m.Dst, FlushByBarrier)
+	}
+	ep.post(m, opts)
+}
+
+// post is the transport tail of Send, shared with the coalescing flush
+// path: crash gate, flow-control credits, then the reliable or idealized
+// injection path. Validation already happened (in Send, per inner message
+// for batches).
+func (ep *Endpoint) post(m *Msg, opts SendOpts) {
 	if ep.f.reliable && ep.f.crashedNow(ep.rank) {
 		// A dead NIC injects nothing; the message vanishes without any
 		// completion callback — supervising layers must never conclude
@@ -409,10 +462,7 @@ func (ep *Endpoint) deliver(m *Msg, src *Endpoint, opts SendOpts) {
 	ep.recvFree = done
 
 	eng.At(done, func() {
-		ep.Received++
-		f.stats.HandlerRuns++
-		h := ep.handlers[m.Tag]
-		h(ep, m)
+		ep.dispatch(m)
 
 		// Delivery ack back to the sender (credit release + callback).
 		ackAt := eng.Now() + f.wireLatency(m.Dst, m.Src)
@@ -589,9 +639,7 @@ func (ep *Endpoint) deliverReliable(m *Msg, src *Endpoint, seq uint64) {
 			ep.dedup[src.rank] = d
 		}
 		if d.mark(seq) {
-			ep.Received++
-			f.stats.HandlerRuns++
-			ep.handlers[m.Tag](ep, m)
+			ep.dispatch(m)
 		} else {
 			f.stats.DupsDropped++
 		}

@@ -164,6 +164,9 @@ type SendOpts struct {
 	OnDelivered func() // delivery ack returned (local op completion)
 	Class       fabric.Class
 	Bytes       int
+	// NoCoalesce exempts latency-critical control traffic from the
+	// fabric's coalescing buffer (see fabric.SendOpts.NoCoalesce).
+	NoCoalesce bool
 }
 
 // Send delivers payload to handler tag on image dst.
@@ -199,8 +202,14 @@ func (img *ImageKernel) sendEnv(dst int, tag uint16, e *env, opts SendOpts) {
 	}, fabric.SendOpts{
 		OnInjected:  opts.OnInjected,
 		OnDelivered: onDelivered,
+		NoCoalesce:  opts.NoCoalesce,
 	})
 }
+
+// FlushCoalesced flushes this image's fabric aggregation buffers — the
+// barrier hook synchronization points above (finish, cofence, events,
+// collectives, program exit) invoke. A no-op when coalescing is off.
+func (img *ImageKernel) FlushCoalesced() { img.ep.FlushCoalesced() }
 
 // Delivery is the receiving-side view of one message.
 type Delivery struct {
@@ -262,9 +271,11 @@ func (d *Delivery) Reply(payload any, bytes int) {
 	if bytes > d.Img.k.fab.MaxMedium() {
 		class = fabric.RDMA
 	}
+	// The caller is parked on this reply: never coalesce it.
 	d.Img.Send(d.replyTo, tagReply, replyMsg{id: d.replyID, payload: payload}, SendOpts{
-		Class: class,
-		Bytes: bytes,
+		Class:      class,
+		Bytes:      bytes,
+		NoCoalesce: true,
 	})
 }
 
@@ -322,6 +333,9 @@ func (img *ImageKernel) Call(p *sim.Proc, dst int, tag uint16, payload any, opts
 	id := img.nextCallID
 	w := &callWait{proc: p}
 	img.calls[id] = w
+	// This proc blocks until the reply: coalescing the request would
+	// trade its latency for nothing.
+	opts.NoCoalesce = true
 	e := &env{payload: payload, replyTo: img.rank, replyID: id}
 	if opts.Track != nil {
 		if tr := img.k.tracker; tr != nil {

@@ -45,9 +45,12 @@ func (img *Image) Lock(rank, id int) {
 // release is asynchronous (one-way message); FIFO fabric delivery keeps
 // lock/unlock pairs ordered.
 func (img *Image) Unlock(rank, id int) {
+	// Contenders spin on the lock holder: coalescing the release would
+	// serialize the critical section behind a flush timer.
 	img.st.kern.Send(rank, tagUnlock, &unlockMsg{id: id, clk: img.raceRelease()}, rt.SendOpts{
-		Class: fabric.AMShort,
-		Bytes: 16,
+		Class:      fabric.AMShort,
+		Bytes:      16,
+		NoCoalesce: true,
 	})
 }
 
