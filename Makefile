@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-json-quick fuzz-smoke ci figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench bench-json bench-json-quick fuzz-smoke chaos-crash ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -36,6 +36,12 @@ bench-json-quick:
 # Short fuzz pass over the conflict-range intersection kernel.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzRangesIntersect -fuzztime=30s -run '^$$' ./internal/race
+
+# Crash-resilience sweep: every chaos workload with an image hard-crashed
+# mid-run, detector on (typed errors, no deadlocks) and detector off
+# (legacy deadlock pinned), plus the resilient-finish property tests.
+chaos-crash:
+	$(GO) test -run 'Crash|DetectorOn|Resilient' -v ./internal/chaos ./internal/core .
 
 figures:
 	$(GO) run ./cmd/figures -out results

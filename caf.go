@@ -25,10 +25,12 @@ package caf
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"caf2go/internal/collect"
 	"caf2go/internal/core"
 	"caf2go/internal/fabric"
+	"caf2go/internal/failure"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
@@ -58,6 +60,22 @@ type FabricConfig = fabric.Config
 // numbers, dedup, ack-timeout retransmission with capped backoff), which
 // keeps every construct above — finish counters included — exact.
 type FaultPlan = fabric.FaultPlan
+
+// FailureDetectorConfig re-exports the heartbeat/lease failure-detector
+// configuration. The zero value disables detection: crashed images
+// behave exactly as before the detector existed (peers retry into the
+// dead NIC and blocked synchronization hangs), preserving bit-identical
+// replay of legacy runs.
+type FailureDetectorConfig = failure.Config
+
+// DefaultHeartbeat is the detector's default heartbeat period.
+const DefaultHeartbeat = failure.DefaultHeartbeat
+
+// ImageFailedError re-exports the typed error every blocking primitive
+// surfaces when an image it depends on is declared dead: finish, event
+// wait, lock/RPC, collectives, cofence, and async-copy completion all
+// abort with one of these instead of hanging.
+type ImageFailedError = failure.ImageFailedError
 
 // Coalescing re-exports the fabric's adaptive message-coalescing
 // configuration: per-destination aggregation of small AMs into batched
@@ -128,6 +146,14 @@ type Config struct {
 	// serialize them in time. Costlier than DetectConflicts; reports
 	// through the same Conflicts / ConflictLog / ConflictDetails API.
 	RaceDetector bool
+	// FailureDetector, when Enabled, declares images whose NIC the fault
+	// plan crashes dead after a deterministic heartbeat/lease delay and
+	// turns every blocking primitive failure-aware: instead of hanging
+	// on a dead peer, finish runs the resilient survivor protocol and
+	// returns an error, while event waits, locks, collectives, cofences,
+	// and RPCs abort their image with an ImageFailedError (fail-stop).
+	// The zero value keeps runs bit-identical to builds without it.
+	FailureDetector FailureDetectorConfig
 }
 
 // Machine is a configured simulated cluster. Most programs use Run; the
@@ -147,6 +173,11 @@ type Machine struct {
 
 	coarrays  map[carrKey]*carrSlot
 	nextSplit int64
+
+	// Failure-detector state (nil / zero when disabled).
+	det        *failure.Detector
+	imgErrs    []*failure.ImageFailedError // first abort per image
+	opsAborted int64
 }
 
 // imageState is per-image state shared by every proc running on that
@@ -212,6 +243,16 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m.plane = core.NewPlane(k, m.comm, core.Config{WaitQuiescent: !cfg.FinishNoWait})
 	m.tracer = tracer
+	var crash map[int]sim.Time
+	if cfg.Fabric.Faults != nil {
+		crash = cfg.Fabric.Faults.Crash
+	}
+	if m.det = failure.New(eng, cfg.Images, cfg.FailureDetector, crash); m.det != nil {
+		k.SetDetector(m.det)
+		m.plane.SetDetector(m.det)
+		m.imgErrs = make([]*failure.ImageFailedError, cfg.Images)
+		m.det.Subscribe(m.onImageDeath)
+	}
 	if cfg.DetectConflicts {
 		m.conflicts = &conflictState{}
 	}
@@ -236,6 +277,23 @@ func (m *Machine) Launch(main func(img *Image)) {
 	for i := 0; i < m.cfg.Images; i++ {
 		st := m.states[i]
 		st.kern.Go("main", func(p *sim.Proc) {
+			if m.det != nil {
+				// Fail-stop: a blocking primitive aborted by a failure
+				// declaration unwinds the image's main with an
+				// ImageFailedError, recorded here. Anything else keeps
+				// propagating to the engine as a real bug.
+				defer func() {
+					r := recover()
+					if r == nil {
+						return
+					}
+					if ab, ok := r.(failure.Abort); ok {
+						m.recordAbort(st.kern.Rank(), ab.Err)
+						return
+					}
+					panic(r)
+				}()
+			}
 			img := &Image{m: m, st: st, proc: p, ct: m.newTracker()}
 			if m.race != nil {
 				img.rc = m.race.d.NewCtx(nil)
@@ -252,10 +310,88 @@ func (m *Machine) Launch(main func(img *Image)) {
 
 // RunToCompletion drives the simulation until it drains and returns the
 // final report. A deadlock (blocked images with no pending events) is
-// returned as an error.
+// returned as a *DeadlockError carrying per-image wait-state dumps.
+// With the failure detector enabled, a clean drain after image failures
+// returns the lowest-ranked surviving image's ImageFailedError so
+// callers see that work was lost.
 func (m *Machine) RunToCompletion() (Report, error) {
 	err := m.eng.Run()
+	if derr, ok := err.(*sim.DeadlockError); ok {
+		err = m.wrapDeadlock(derr)
+	}
+	if err == nil && m.imgErrs != nil {
+		for _, e := range m.imgErrs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
 	return m.report(), err
+}
+
+// ImageWaitState is one image's slice of a deadlock diagnostic: what
+// each of its unfinished procs is blocked on, plus the fabric-side
+// backlog that explains why no event can unblock them.
+type ImageWaitState struct {
+	Rank        int
+	Blocked     []string // "name[procID] state (wait reason)" per unfinished proc
+	QueuedSends int      // sends waiting for injection credits
+	Outstanding int      // injected but unacknowledged messages
+	PendingRetx int      // reliability-layer retransmissions still armed
+}
+
+// DeadlockError is RunToCompletion's quiescence-with-blocked-procs
+// report: the raw simulator deadlock plus a per-image dump of every
+// blocked proc's wait reason and in-flight fabric state. Unwrap yields
+// the underlying *sim.DeadlockError.
+type DeadlockError struct {
+	Sim    *sim.DeadlockError
+	Images []ImageWaitState
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "caf: deadlock at %v: %d blocked proc(s)", e.Sim.Now, len(e.Sim.Parked))
+	for _, im := range e.Images {
+		fmt.Fprintf(&b, "\n  image %d: %s", im.Rank, strings.Join(im.Blocked, "; "))
+		if im.QueuedSends+im.Outstanding+im.PendingRetx > 0 {
+			fmt.Fprintf(&b, " [fabric: %d queued, %d outstanding, %d retx pending]",
+				im.QueuedSends, im.Outstanding, im.PendingRetx)
+		}
+	}
+	return b.String()
+}
+
+func (e *DeadlockError) Unwrap() error { return e.Sim }
+
+// wrapDeadlock builds the per-image wait-state dump for a simulator
+// deadlock.
+func (m *Machine) wrapDeadlock(derr *sim.DeadlockError) *DeadlockError {
+	out := &DeadlockError{Sim: derr}
+	for i, st := range m.states {
+		ep := st.kern.Endpoint()
+		ws := ImageWaitState{
+			Rank:        i,
+			QueuedSends: ep.QueuedSends(),
+			Outstanding: ep.Outstanding(),
+			PendingRetx: ep.PendingRetx(),
+		}
+		for _, p := range st.kern.Procs() {
+			if p.State() == "done" {
+				continue
+			}
+			desc := fmt.Sprintf("%s[%d] %s", p.Name(), p.ID(), p.State())
+			if r := p.BlockReason(); r != "" {
+				desc += " (" + r + ")"
+			}
+			ws.Blocked = append(ws.Blocked, desc)
+		}
+		if len(ws.Blocked) > 0 || ws.QueuedSends+ws.Outstanding+ws.PendingRetx > 0 {
+			out.Images = append(out.Images, ws)
+		}
+	}
+	return out
 }
 
 // Report summarizes a completed run.
@@ -290,6 +426,14 @@ type Report struct {
 	FlushBySize   uint64
 	FlushByTimer  uint64
 	FlushByBarrier uint64
+	// ImagesFailed counts images declared dead by the failure detector;
+	// OpsAbortedByFailure counts blocking primitives that surfaced an
+	// ImageFailedError instead of hanging; FinishLostActivities counts
+	// tracked operations resilient finishes charged off as lost on dead
+	// images. All zero when Config.FailureDetector is disabled.
+	ImagesFailed         int
+	OpsAbortedByFailure  int64
+	FinishLostActivities int64
 }
 
 func (m *Machine) report() Report {
@@ -310,6 +454,10 @@ func (m *Machine) report() Report {
 		FlushBySize:    fs.FlushBySize,
 		FlushByTimer:   fs.FlushByTimer,
 		FlushByBarrier: fs.FlushByBarrier,
+
+		ImagesFailed:         m.det.DeathCount(),
+		OpsAbortedByFailure:  m.opsAborted,
+		FinishLostActivities: ps.LostActivities,
 	}
 	for _, st := range m.states {
 		r.SpawnsSent += st.spawnsSent
@@ -347,8 +495,49 @@ func (m *Machine) Shutdown() { m.eng.Shutdown() }
 
 // newTracker builds a cofence tracker for one execution context.
 func (m *Machine) newTracker() *core.CofenceTracker {
-	return core.NewCofenceTracker(m.cfg.Relaxed, m.cfg.MaxDelayed)
+	ct := core.NewCofenceTracker(m.cfg.Relaxed, m.cfg.MaxDelayed)
+	ct.SetDetector(m.det)
+	return ct
 }
+
+// onImageDeath runs inside the engine at each failure declaration. The
+// order matters: first the finish plane consumes its mirror tallies
+// (charge-off), then the fabric abandons traffic to/from the dead NIC
+// (each abandoned tracked send reconciles through OnAbandoned against
+// the already-charged state), and only then is every parked proc woken
+// so blocked primitives re-evaluate their — now failure-aware — wait
+// conditions against fully reconciled state.
+func (m *Machine) onImageDeath(rank int, at sim.Time) {
+	_ = at
+	m.plane.OnDeath(rank)
+	m.k.Fabric().AbandonForDead(rank)
+	m.eng.WakeAllParked()
+}
+
+// recordAbort notes a blocking primitive aborted by a failure
+// declaration; the first abort per image becomes that image's error.
+func (m *Machine) recordAbort(rank int, err *failure.ImageFailedError) {
+	m.opsAborted++
+	if m.imgErrs != nil && m.imgErrs[rank] == nil {
+		m.imgErrs[rank] = err
+	}
+}
+
+// ImageErrors returns, per image, the ImageFailedError that aborted it
+// (nil entries for images that ran to completion). Only meaningful with
+// the failure detector enabled; returns nil otherwise.
+func (m *Machine) ImageErrors() []*ImageFailedError {
+	if m.imgErrs == nil {
+		return nil
+	}
+	out := make([]*ImageFailedError, len(m.imgErrs))
+	copy(out, m.imgErrs)
+	return out
+}
+
+// DeadImages returns the ranks declared dead by the failure detector,
+// ascending (nil when the detector is off or nobody died).
+func (m *Machine) DeadImages() []int { return m.det.DeadRanks() }
 
 // Trace returns the execution-trace recorder, or nil when tracing is
 // disabled. Export with WriteChromeTrace / WriteSummary.

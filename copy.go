@@ -217,6 +217,10 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 				Class:       class,
 				Bytes:       bytes,
 				OnDelivered: tok.complete,
+				// An abandoned put (dead destination) completes its
+				// token: the loss is charged to the enclosing finish,
+				// and notifies must not be gated on it forever.
+				OnAbandoned: tok.complete,
 			}
 			srcE := o.srcE
 			sendOpts.OnInjected = func() {
@@ -291,6 +295,9 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 				Class:       fabric.AMShort,
 				Bytes:       32,
 				OnDelivered: tok.complete,
+				// A get request abandoned at a dead owner completes the
+				// token, like the put path above.
+				OnAbandoned: tok.complete,
 			})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"caf2go/internal/fabric"
+	"caf2go/internal/failure"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
@@ -163,14 +164,23 @@ func (img *Image) EventWait(e *Event) {
 	img.st.kern.FlushCoalesced()
 	start := img.Now()
 	es := img.m.eventState(e)
+	det := img.m.det
 	es.waiters = append(es.waiters, img.proc)
-	img.proc.WaitUntil("event wait", func() bool { return es.count > 0 })
+	img.proc.WaitUntil("event wait", func() bool { return es.count > 0 || det.AnyDead() })
 	img.traceSpan("event_wait", "sync", start)
 	for i, w := range es.waiters {
 		if w == img.proc {
 			es.waiters = append(es.waiters[:i], es.waiters[i+1:]...)
 			break
 		}
+	}
+	if es.count == 0 {
+		// Woken by a failure declaration, not a notification: the post
+		// this image is waiting for may be lost with the dead image.
+		// Fail-stop rather than block forever. (The wait condition is
+		// evaluated before first park, so a declaration racing this
+		// image between enqueue and park is seen, never lost.)
+		panic(failure.Abort{Err: det.ErrFor("event wait")})
 	}
 	es.count--
 	// Acquire: subsequent operations are ordered after the notifies.

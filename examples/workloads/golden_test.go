@@ -82,6 +82,21 @@ func goldenCases() []struct {
 		{"transpose", func() (Result, error) {
 			return Transpose(caf.Config{Images: 4, Seed: 1}, 16)
 		}},
+		{"crashed-finish", func() (Result, error) {
+			// Image 1's NIC dies mid-task-graph; the detector declares
+			// it dead a heartbeat+lease later and the resilient finish
+			// surfaces a typed error. Pins the whole failure path:
+			// declaration time, charge-off accounting, and counters.
+			return CrashedFinish(caf.Config{
+				Images: 8,
+				Seed:   7,
+				Faults: &caf.FaultPlan{
+					Seed:  7,
+					Crash: map[int]caf.Time{1: 100 * caf.Microsecond},
+				},
+				FailureDetector: caf.FailureDetectorConfig{Enabled: true},
+			}, 2, 3)
+		}},
 	}
 }
 

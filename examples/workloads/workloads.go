@@ -12,6 +12,7 @@
 package workloads
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -372,6 +373,40 @@ func TerminationFinish(cfg caf.Config, seedTasks, maxDepth int) (Result, error) 
 	return Result{
 		Report: rep,
 		Check:  fmt.Sprintf("atExit=%d total=%d rounds=%d", completedAtExit, completed, rounds),
+	}, nil
+}
+
+// CrashedFinish is TerminationFinish's task graph with one image
+// hard-crashed mid-run and the failure detector enabled: the run must
+// terminate with a typed ImageFailedError instead of deadlocking.
+// Check digests the failure surface — the surfaced error text (which
+// embeds the dead rank, declaration time, and lost-activity count) and
+// how much work still completed — while the Report pins the failure
+// counters (ImagesFailed, OpsAbortedByFailure, FinishLostActivities)
+// bit-for-bit in the golden suite.
+func CrashedFinish(cfg caf.Config, seedTasks, maxDepth int) (Result, error) {
+	images := cfg.Images
+	taskWork := 300 * caf.Microsecond
+	var completed int64
+	rep, err := caf.Run(cfg, func(img *caf.Image) {
+		img.Finish(nil, func() {
+			for t := 0; t < seedTasks; t++ {
+				img.Spawn(img.Random().Intn(images), func(rm *caf.Image) {
+					terminationChain(rm, images, maxDepth, &completed, taskWork)
+				})
+			}
+		})
+	})
+	if err == nil {
+		return Result{}, fmt.Errorf("crashed-image run reported success (%d tasks done)", completed)
+	}
+	var ferr *caf.ImageFailedError
+	if !errors.As(err, &ferr) {
+		return Result{}, fmt.Errorf("expected an ImageFailedError, got %T: %w", err, err)
+	}
+	return Result{
+		Report: rep,
+		Check:  fmt.Sprintf("err=%q done=%d", ferr.Error(), completed),
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package caf
 
 import (
 	"caf2go/internal/core"
+	"caf2go/internal/failure"
 )
 
 // Allow re-exports the cofence directional filter type.
@@ -48,7 +49,16 @@ func (img *Image) Finish(t *Team, body func()) int {
 		img.rc.ReleaseInto(&fs.members)
 	}
 	detect := img.Now()
-	rounds := img.m.plane.End(img.proc, img.st.kern, s)
+	rounds, ferr := img.m.plane.End(img.proc, img.st.kern, s)
+	if ferr != nil {
+		// The resilient protocol terminated the block over the survivor
+		// team, but activities it supervised died with an image (or this
+		// image was itself declared dead). Fail-stop: unwind this
+		// image's context; the machine records the error and surfaces it
+		// from RunToCompletion and Machine.ImageErrors.
+		img.traceSpan("finish", "sync", start)
+		panic(failure.Abort{Err: ferr})
+	}
 	if fs != nil {
 		// Acquire: the exit is ordered after every member's body and
 		// after every implicitly-completed operation initiated inside

@@ -83,6 +83,11 @@ type CoalesceRow struct {
 	// Errors counts RA table corruptions (must be 0: coalescing may not
 	// change results).
 	Errors int64
+	// Failure accounting (zero — and omitted — unless a row runs with
+	// the failure detector on and images actually die).
+	ImagesFailed         int   `json:",omitempty"`
+	OpsAbortedByFailure  int64 `json:",omitempty"`
+	FinishLostActivities int64 `json:",omitempty"`
 }
 
 // CoalesceReport is the BENCH_coalesce.json document.
@@ -109,6 +114,10 @@ func rowFromReport(workload string, images int, coalesced bool, rep caf.Report) 
 		FlushBySize:    rep.FlushBySize,
 		FlushByTimer:   rep.FlushByTimer,
 		FlushByBarrier: rep.FlushByBarrier,
+
+		ImagesFailed:         rep.ImagesFailed,
+		OpsAbortedByFailure:  rep.OpsAbortedByFailure,
+		FinishLostActivities: rep.FinishLostActivities,
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"caf2go/internal/fabric"
+	"caf2go/internal/failure"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
 	"caf2go/internal/team"
@@ -190,16 +191,38 @@ func (h *Handle) OnLocalOp(fn func()) {
 	h.loCbs = append(h.loCbs, fn)
 }
 
-// WaitLocalData parks p until local data completion.
+// WaitLocalData parks p until local data completion. With a failure
+// detector attached to the kernel, a declared death while the tree is
+// incomplete aborts the wait (fail-stop) instead of hanging on a
+// message the dead image will never forward.
 func (h *Handle) WaitLocalData(p *sim.Proc) {
-	h.waiters = append(h.waiters, p)
-	p.WaitUntil("collective local data", func() bool { return h.localData })
+	if !h.WaitLocalDataErr(p) {
+		panic(failure.Abort{Err: h.img.Kernel().Detector().ErrFor("collective")})
+	}
 }
 
-// WaitLocalOp parks p until local operation completion.
-func (h *Handle) WaitLocalOp(p *sim.Proc) {
+// WaitLocalDataErr is WaitLocalData for callers that recover rather
+// than fail-stop: it reports false instead of panicking when a failure
+// is declared before the tree completes. The finish plane's resilient
+// termination detection uses it to fall back to the survivor poll
+// protocol. The waiter mechanics are identical to WaitLocalData's, so
+// an idle detector perturbs nothing.
+func (h *Handle) WaitLocalDataErr(p *sim.Proc) bool {
+	det := h.img.Kernel().Detector()
 	h.waiters = append(h.waiters, p)
-	p.WaitUntil("collective local op", func() bool { return h.localOp })
+	p.WaitUntil("collective local data", func() bool { return h.localData || det.AnyDead() })
+	return h.localData
+}
+
+// WaitLocalOp parks p until local operation completion, aborting like
+// WaitLocalData when a failure is declared first.
+func (h *Handle) WaitLocalOp(p *sim.Proc) {
+	det := h.img.Kernel().Detector()
+	h.waiters = append(h.waiters, p)
+	p.WaitUntil("collective local op", func() bool { return h.localOp || det.AnyDead() })
+	if !h.localOp {
+		panic(failure.Abort{Err: det.ErrFor("collective")})
+	}
 }
 
 func (h *Handle) fireLocalData() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"caf2go/internal/failure"
 	"caf2go/internal/sim"
 )
 
@@ -117,6 +118,8 @@ type CofenceTracker struct {
 	relaxed  bool
 	maxDelay int // flush threshold; <=0 means flush immediately
 	delayed  []delayedOp
+
+	det *failure.Detector // nil ⇒ fences may block forever on lost ops
 }
 
 // NewCofenceTracker returns a tracker. With relaxed=false, operations
@@ -197,15 +200,16 @@ func (ct *CofenceTracker) Flush() { ct.flushDelayed(AllowNone) }
 func (ct *CofenceTracker) Cofence(p *sim.Proc, down, up Allow) {
 	_ = up
 	ct.flushDelayed(down)
-	ct.waiters = append(ct.waiters, p)
-	p.WaitUntil("cofence", func() bool {
+	sat := func() bool {
 		for _, op := range ct.pending {
 			if !op.done && !passes(op.class, down) {
 				return false
 			}
 		}
 		return true
-	})
+	}
+	ct.waiters = append(ct.waiters, p)
+	p.WaitUntil("cofence", func() bool { return sat() || ct.det.AnyDead() })
 	for i, w := range ct.waiters {
 		if w == p {
 			ct.waiters = append(ct.waiters[:i], ct.waiters[i+1:]...)
@@ -213,4 +217,15 @@ func (ct *CofenceTracker) Cofence(p *sim.Proc, down, up Allow) {
 		}
 	}
 	ct.sweep()
+	if !sat() {
+		// A failure declaration woke the fence while constrained ops
+		// were still pending: some may have been lost with the dead
+		// image. Fail-stop rather than wait forever.
+		panic(failure.Abort{Err: ct.det.ErrFor("cofence")})
+	}
 }
+
+// SetDetector makes fences failure-aware: a cofence blocked on ops that
+// can no longer complete (their peer was declared dead) aborts with an
+// ImageFailedError instead of hanging. nil preserves legacy blocking.
+func (ct *CofenceTracker) SetDetector(d *failure.Detector) { ct.det = d }

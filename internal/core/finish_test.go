@@ -75,7 +75,7 @@ func (m *machine) runFinish(t testing.TB, body func(img *rt.ImageKernel, p *sim.
 		img.Go("main", func(p *sim.Proc) {
 			s := m.pl.Begin(img, m.w)
 			body(img, p, s.Ref())
-			r := m.pl.End(p, img, s)
+			r, _ := m.pl.End(p, img, s)
 			if p.Now() < earliest {
 				earliest = p.Now()
 			}
@@ -429,7 +429,7 @@ func TestTheorem1HoldsNested(t *testing.T) {
 			m.spawn(img, (img.Rank()+1)%8, inner.Ref(), func(ri *rt.ImageKernel, rp *sim.Proc, _ Ref) {
 				rp.Sleep(50 * sim.Microsecond)
 			})
-			r := m.pl.End(p, img, inner)
+			r, _ := m.pl.End(p, img, inner)
 			if img.Rank() == 0 {
 				innerRounds = r
 			}

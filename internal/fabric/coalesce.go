@@ -216,13 +216,16 @@ func (ep *Endpoint) flushDst(dst int, reason FlushReason) {
 // own SendOpts: the batch injecting/acking IS every inner message
 // injecting/acking.
 func batchOpts(inner []SendOpts) SendOpts {
-	var injected, delivered []func()
+	var injected, delivered, abandoned []func()
 	for _, o := range inner {
 		if o.OnInjected != nil {
 			injected = append(injected, o.OnInjected)
 		}
 		if o.OnDelivered != nil {
 			delivered = append(delivered, o.OnDelivered)
+		}
+		if o.OnAbandoned != nil {
+			abandoned = append(abandoned, o.OnAbandoned)
 		}
 	}
 	var out SendOpts
@@ -236,6 +239,13 @@ func batchOpts(inner []SendOpts) SendOpts {
 	if len(delivered) > 0 {
 		out.OnDelivered = func() {
 			for _, fn := range delivered {
+				fn()
+			}
+		}
+	}
+	if len(abandoned) > 0 {
+		out.OnAbandoned = func() {
+			for _, fn := range abandoned {
 				fn()
 			}
 		}

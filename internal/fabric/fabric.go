@@ -11,6 +11,7 @@ package fabric
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"caf2go/internal/sim"
 )
@@ -132,6 +133,16 @@ type SendOpts struct {
 	// timer. A NoCoalesce message still flushes its destination's buffer
 	// first, preserving per-channel FIFO order.
 	NoCoalesce bool
+	// OnAbandoned fires on the sender when the fabric gives up on the
+	// message for good: the sending NIC was dead at injection, the
+	// destination NIC was declared dead at an ack timeout, or the
+	// retransmission attempt budget ran out. Exactly one of OnDelivered
+	// and OnAbandoned fires per logical message on the reliable path;
+	// neither fires for a message swallowed by a dead sender before the
+	// reliable protocol engaged (OnAbandoned covers that case too).
+	// Failure-aware layers use this to charge off work resident on dead
+	// images instead of waiting forever.
+	OnAbandoned func()
 }
 
 // Stats aggregates fabric-wide counters. MsgsSent counts transmissions
@@ -386,10 +397,14 @@ func (ep *Endpoint) Send(m *Msg, opts SendOpts) {
 // for batches).
 func (ep *Endpoint) post(m *Msg, opts SendOpts) {
 	if ep.f.reliable && ep.f.crashedNow(ep.rank) {
-		// A dead NIC injects nothing; the message vanishes without any
-		// completion callback — supervising layers must never conclude
-		// success from silence.
+		// A dead NIC injects nothing; the message vanishes with no
+		// success callback — supervising layers must never conclude
+		// success from silence. OnAbandoned (if any) still fires so
+		// failure-aware layers can account for the loss.
 		ep.f.stats.Abandoned++
+		if opts.OnAbandoned != nil {
+			opts.OnAbandoned()
+		}
 		return
 	}
 	if ep.f.cfg.Credits > 0 && ep.outstanding >= ep.f.cfg.Credits {
@@ -405,6 +420,11 @@ func (ep *Endpoint) post(m *Msg, opts SendOpts) {
 
 // QueuedSends reports how many messages are stalled waiting for credits.
 func (ep *Endpoint) QueuedSends() int { return len(ep.sendq) }
+
+// PendingRetx reports how many logical messages are in flight on the
+// reliability protocol (sent, not yet acked or abandoned). Always 0 on
+// a fault-free fabric.
+func (ep *Endpoint) PendingRetx() int { return len(ep.pending) }
 
 // Outstanding reports un-acked sends currently counted against credits.
 func (ep *Endpoint) Outstanding() int { return ep.outstanding }
@@ -593,14 +613,74 @@ func (ep *Endpoint) onAckTimeout(tx *txState) {
 		f.stats.Abandoned++
 		delete(ep.pending, txKey{tx.m.Dst, tx.seq})
 		// Release the flow-control credit so unrelated traffic keeps
-		// moving, but fire no completion callback: the supervising layer
+		// moving, but fire no success callback: the supervising layer
 		// must observe the loss (a finish block will simply never
-		// terminate — the never-early side of Theorem 1).
+		// terminate — the never-early side of Theorem 1). OnAbandoned
+		// is the explicit loss notification for failure-aware layers.
 		ep.outstanding--
+		if tx.opts.OnAbandoned != nil {
+			tx.opts.OnAbandoned()
+		}
 		ep.drainQueue()
 		return
 	}
 	ep.transmit(tx)
+}
+
+// AbandonForDead abandons, immediately and deterministically, every
+// pending reliable transmission that can no longer succeed because rank
+// is dead: rank's own un-acked sends (its NIC can neither retransmit nor
+// hear acks) and every other endpoint's un-acked sends toward rank. The
+// failure layer calls this at declaration time so charge-off callbacks
+// fire promptly instead of trickling out of backed-off ack timeouts.
+// Endpoints are walked in rank order and each endpoint's victims in
+// (dst, seq) order, so the OnAbandoned callback order is reproducible.
+func (f *Fabric) AbandonForDead(rank int) {
+	if !f.reliable {
+		return
+	}
+	for _, ep := range f.eps {
+		var victims []txKey
+		for k := range ep.pending {
+			if ep.rank == rank || k.dst == rank {
+				victims = append(victims, k)
+			}
+		}
+		if len(victims) == 0 && (ep.rank != rank || len(ep.sendq) == 0) {
+			continue
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			if victims[i].dst != victims[j].dst {
+				return victims[i].dst < victims[j].dst
+			}
+			return victims[i].seq < victims[j].seq
+		})
+		for _, k := range victims {
+			tx := ep.pending[k]
+			tx.abandoned = true
+			tx.timer.Stop()
+			f.stats.Abandoned++
+			delete(ep.pending, k)
+			ep.outstanding--
+			if tx.opts.OnAbandoned != nil {
+				tx.opts.OnAbandoned()
+			}
+		}
+		if ep.rank == rank {
+			// The dead endpoint's credit-stalled queue can never inject:
+			// abandon it outright rather than draining it into a dead NIC.
+			q := ep.sendq
+			ep.sendq = nil
+			for _, qs := range q {
+				f.stats.Abandoned++
+				if qs.opts.OnAbandoned != nil {
+					qs.opts.OnAbandoned()
+				}
+			}
+			continue
+		}
+		ep.drainQueue()
+	}
 }
 
 // deliverReliable runs at (possibly duplicated, possibly reordered)

@@ -1,0 +1,108 @@
+package failure
+
+import (
+	"reflect"
+	"testing"
+
+	"caf2go/internal/sim"
+)
+
+// TestNoFalsePositives: an enabled detector with no crash schedule
+// schedules nothing and never declares anyone dead.
+func TestNoFalsePositives(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, 8, Config{Enabled: true}, nil)
+	if d == nil {
+		t.Fatal("enabled config returned nil detector")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.AnyDead() || d.DeadRanks() != nil {
+		t.Fatalf("no crashes but dead ranks = %v", d.DeadRanks())
+	}
+	if eng.EventsRun() != 0 {
+		t.Errorf("crash-free detector scheduled %d events, want 0", eng.EventsRun())
+	}
+}
+
+// TestDisabledAllocatesNothing: the zero config returns a nil detector
+// whose query methods are safe and inert.
+func TestDisabledAllocatesNothing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, 4, Config{}, map[int]sim.Time{1: 10})
+	if d != nil {
+		t.Fatal("disabled config built a detector")
+	}
+	if d.Dead(1) || d.AnyDead() || d.DeadRanks() != nil {
+		t.Error("nil detector reported a death")
+	}
+	if eng.EventsRun() != 0 || !eng.Idle() {
+		t.Error("disabled detector scheduled events")
+	}
+}
+
+// TestLeaseExpiryDeterminism: declaration lands exactly at the crash
+// time rounded up to the next heartbeat boundary plus the lease, and
+// identical runs declare at identical times.
+func TestLeaseExpiryDeterminism(t *testing.T) {
+	crash := map[int]sim.Time{
+		2: 200 * sim.Microsecond, // on a beat boundary: beat = 200us
+		5: 233 * sim.Microsecond, // rounds up to 250us
+	}
+	run := func() map[int]sim.Time {
+		eng := sim.NewEngine(7)
+		d := New(eng, 8, Config{Enabled: true}, crash)
+		var declared = map[int]sim.Time{}
+		d.Subscribe(func(rank int, at sim.Time) {
+			if at != eng.Now() {
+				t.Errorf("declaration for %d reported at=%v but engine now=%v", rank, at, eng.Now())
+			}
+			declared[rank] = at
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return declared
+	}
+	a := run()
+	// Heartbeat 25us, lease 50us.
+	if want := 250 * sim.Microsecond; a[2] != want {
+		t.Errorf("rank 2 declared at %v, want %v", a[2], want)
+	}
+	if want := 300 * sim.Microsecond; a[5] != want {
+		t.Errorf("rank 5 declared at %v, want %v", a[5], want)
+	}
+	b := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same schedule declared differently: %v vs %v", a, b)
+	}
+}
+
+// TestDeadRanksSortedAndQueries: post-run query surface.
+func TestDeadRanksSortedAndQueries(t *testing.T) {
+	eng := sim.NewEngine(3)
+	crash := map[int]sim.Time{3: 50 * sim.Microsecond, 1: 90 * sim.Microsecond}
+	d := New(eng, 4, Config{Enabled: true, Heartbeat: 10 * sim.Microsecond, Lease: 5 * sim.Microsecond}, crash)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DeadRanks(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("DeadRanks = %v, want [1 3]", got)
+	}
+	if !d.Dead(3) || !d.Dead(1) || d.Dead(0) {
+		t.Error("Dead() disagrees with schedule")
+	}
+	if at, ok := d.DeadAt(3); !ok || at != 55*sim.Microsecond {
+		t.Errorf("DeadAt(3) = %v,%v want 55us", at, ok)
+	}
+	// Out-of-range ranks in the crash map are ignored.
+	eng2 := sim.NewEngine(3)
+	d2 := New(eng2, 2, Config{Enabled: true}, map[int]sim.Time{9: 10})
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d2.AnyDead() {
+		t.Error("out-of-range crash rank was declared")
+	}
+}

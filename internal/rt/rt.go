@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"caf2go/internal/fabric"
+	"caf2go/internal/failure"
 	"caf2go/internal/sim"
 )
 
@@ -32,13 +33,19 @@ const (
 // counters (paper Fig. 7).
 type Tracker interface {
 	// OnSend may transform the context (stamp parity, bind the sender's
-	// epoch); the returned value travels with the message.
-	OnSend(src *ImageKernel, ctx any) any
+	// epoch, record the destination); the returned value travels with
+	// the message.
+	OnSend(src *ImageKernel, dst int, ctx any) any
 	// OnReceive may transform the context again (bind the receiver's
 	// epoch); the returned value is what OnComplete later sees.
 	OnReceive(dst *ImageKernel, ctx any) any
 	OnComplete(dst *ImageKernel, ctx any)
 	OnAck(src *ImageKernel, ctx any)
+	// OnAbandoned fires on the source when the fabric gives up on a
+	// tracked message for good (dead destination NIC, dead source NIC,
+	// or exhausted retransmission budget). It replaces the OnAck that
+	// will never come; only fired when a failure detector is attached.
+	OnAbandoned(src *ImageKernel, ctx any)
 }
 
 // Handler processes a delivered message on an image.
@@ -58,7 +65,8 @@ type Kernel struct {
 	fab     *fabric.Fabric
 	images  []*ImageKernel
 	tracker Tracker
-	nextID  int64 // generator for team ids etc.
+	det     *failure.Detector // nil unless a failure detector is attached
+	nextID  int64             // generator for team ids etc.
 }
 
 // NewKernel builds a machine with n images over the given fabric config.
@@ -102,6 +110,16 @@ func (k *Kernel) SetTracker(t Tracker) { k.tracker = t }
 // Tracker returns the installed tracker, or nil.
 func (k *Kernel) Tracker() Tracker { return k.tracker }
 
+// SetDetector attaches the failure detector. With a detector attached,
+// blocking Calls abort (via failure.Abort) instead of hanging when an
+// image is declared dead, tracked sends report abandonment to the
+// tracker, and late replies for aborted calls are dropped instead of
+// panicking. nil (the default) keeps all legacy behavior.
+func (k *Kernel) SetDetector(d *failure.Detector) { k.det = d }
+
+// Detector returns the attached failure detector, or nil.
+func (k *Kernel) Detector() *failure.Detector { return k.det }
+
 // NextID returns a machine-wide unique id (team ids, finish ids). It is
 // safe because the simulation is single-threaded.
 func (k *Kernel) NextID() int64 {
@@ -133,7 +151,8 @@ type ImageKernel struct {
 	nextCallID uint64
 	calls      map[uint64]*callWait
 
-	procSeq int // names for procs spawned on this image
+	procSeq int         // names for procs spawned on this image
+	procs   []*sim.Proc // every proc started on this image (diagnostics)
 }
 
 // Rank returns the image's world rank.
@@ -154,8 +173,15 @@ func (img *ImageKernel) Endpoint() *fabric.Endpoint { return img.ep }
 // Go starts a simulated process on this image.
 func (img *ImageKernel) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
 	img.procSeq++
-	return img.k.eng.Go(fmt.Sprintf("img%d/%s#%d", img.rank, name, img.procSeq), fn)
+	p := img.k.eng.Go(fmt.Sprintf("img%d/%s#%d", img.rank, name, img.procSeq), fn)
+	img.procs = append(img.procs, p)
+	return p
 }
+
+// Procs returns every process started on this image via Go, in start
+// order — the per-image wait-state dump for deadlock diagnostics reads
+// their states from here.
+func (img *ImageKernel) Procs() []*sim.Proc { return img.procs }
 
 // SendOpts mirror fabric completion callbacks plus the tracking context.
 type SendOpts struct {
@@ -167,6 +193,11 @@ type SendOpts struct {
 	// NoCoalesce exempts latency-critical control traffic from the
 	// fabric's coalescing buffer (see fabric.SendOpts.NoCoalesce).
 	NoCoalesce bool
+	// OnAbandoned fires when the fabric gives up on the message (see
+	// fabric.SendOpts.OnAbandoned). Only honored when a failure
+	// detector is attached — without one, legacy behavior (silence on
+	// loss) is preserved bit-for-bit.
+	OnAbandoned func()
 }
 
 // Send delivers payload to handler tag on image dst.
@@ -174,7 +205,7 @@ func (img *ImageKernel) Send(dst int, tag uint16, payload any, opts SendOpts) {
 	e := &env{payload: payload, replyTo: -1}
 	if opts.Track != nil {
 		if tr := img.k.tracker; tr != nil {
-			e.track = tr.OnSend(img, opts.Track)
+			e.track = tr.OnSend(img, dst, opts.Track)
 		}
 	}
 	img.sendEnv(dst, tag, e, opts)
@@ -182,6 +213,12 @@ func (img *ImageKernel) Send(dst int, tag uint16, payload any, opts SendOpts) {
 
 func (img *ImageKernel) sendEnv(dst int, tag uint16, e *env, opts SendOpts) {
 	onDelivered := opts.OnDelivered
+	onAbandoned := opts.OnAbandoned
+	if img.k.det == nil {
+		// No failure detector: abandonment stays silent, exactly as it
+		// was before the detector existed.
+		onAbandoned = nil
+	}
 	if e.track != nil {
 		tr := img.k.tracker
 		prev := onDelivered
@@ -189,6 +226,15 @@ func (img *ImageKernel) sendEnv(dst int, tag uint16, e *env, opts SendOpts) {
 			tr.OnAck(img, e.track)
 			if prev != nil {
 				prev()
+			}
+		}
+		if img.k.det != nil {
+			prevAb := onAbandoned
+			onAbandoned = func() {
+				tr.OnAbandoned(img, e.track)
+				if prevAb != nil {
+					prevAb()
+				}
 			}
 		}
 	}
@@ -203,6 +249,7 @@ func (img *ImageKernel) sendEnv(dst int, tag uint16, e *env, opts SendOpts) {
 		OnInjected:  opts.OnInjected,
 		OnDelivered: onDelivered,
 		NoCoalesce:  opts.NoCoalesce,
+		OnAbandoned: onAbandoned,
 	})
 }
 
@@ -317,6 +364,12 @@ func (img *ImageKernel) handleReply(m *fabric.Msg) {
 	r := e.payload.(replyMsg)
 	w, ok := img.calls[r.id]
 	if !ok {
+		if img.k.det != nil {
+			// With a failure detector, a Call can be aborted while its
+			// reply is in flight from a still-live peer; the late reply
+			// is dropped, not a protocol bug.
+			return
+		}
 		panic(fmt.Sprintf("rt: image %d: reply for unknown call %d", img.rank, r.id))
 	}
 	delete(img.calls, r.id)
@@ -328,6 +381,10 @@ func (img *ImageKernel) handleReply(m *fabric.Msg) {
 // Call performs a blocking request/reply round trip from process p on this
 // image to handler tag on image dst, returning the reply payload. The
 // handler must call Delivery.Reply (possibly later, from a detached proc).
+// With a failure detector attached, a Call parked while any image is
+// declared dead aborts via failure.Abort instead of hanging — the reply
+// may depend on the dead image (a lock holder, a chained handler), and
+// fail-stop semantics charge the whole blocked operation to the failure.
 func (img *ImageKernel) Call(p *sim.Proc, dst int, tag uint16, payload any, opts SendOpts) any {
 	img.nextCallID++
 	id := img.nextCallID
@@ -339,10 +396,15 @@ func (img *ImageKernel) Call(p *sim.Proc, dst int, tag uint16, payload any, opts
 	e := &env{payload: payload, replyTo: img.rank, replyID: id}
 	if opts.Track != nil {
 		if tr := img.k.tracker; tr != nil {
-			e.track = tr.OnSend(img, opts.Track)
+			e.track = tr.OnSend(img, dst, opts.Track)
 		}
 	}
 	img.sendEnv(dst, tag, e, opts)
-	p.WaitUntil("rpc reply", func() bool { return w.done })
+	det := img.k.det
+	p.WaitUntil("rpc reply", func() bool { return w.done || det.AnyDead() })
+	if !w.done {
+		delete(img.calls, id)
+		panic(failure.Abort{Err: det.ErrFor("rpc")})
+	}
 	return w.payload
 }

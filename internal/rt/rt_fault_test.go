@@ -12,16 +12,20 @@ import (
 // instrument for the dedup contract: under retransmission and duplicated
 // delivery, each tracked message must hit every phase exactly once.
 type countingTracker struct {
-	sends, recvs, completes, acks int
+	sends, recvs, completes, acks, abandons int
 }
 
-func (c *countingTracker) OnSend(src *ImageKernel, ctx any) any { c.sends++; return ctx }
+func (c *countingTracker) OnSend(src *ImageKernel, dst int, ctx any) any {
+	c.sends++
+	return ctx
+}
 func (c *countingTracker) OnReceive(dst *ImageKernel, ctx any) any {
 	c.recvs++
 	return ctx
 }
 func (c *countingTracker) OnComplete(dst *ImageKernel, ctx any) { c.completes++ }
 func (c *countingTracker) OnAck(src *ImageKernel, ctx any)      { c.acks++ }
+func (c *countingTracker) OnAbandoned(src *ImageKernel, ctx any) { c.abandons++ }
 
 func newFaultyKernel(seed int64, n int, plan *fabric.FaultPlan) (*sim.Engine, *Kernel) {
 	cfg := fabric.DefaultConfig()

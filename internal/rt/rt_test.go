@@ -121,7 +121,7 @@ type recordingTracker struct {
 	log []string
 }
 
-func (r *recordingTracker) OnSend(src *ImageKernel, ctx any) any {
+func (r *recordingTracker) OnSend(src *ImageKernel, dst int, ctx any) any {
 	r.log = append(r.log, fmt.Sprintf("send@%d", src.Rank()))
 	return fmt.Sprintf("%v+stamped", ctx)
 }
@@ -134,6 +134,9 @@ func (r *recordingTracker) OnComplete(dst *ImageKernel, ctx any) {
 }
 func (r *recordingTracker) OnAck(src *ImageKernel, ctx any) {
 	r.log = append(r.log, fmt.Sprintf("ack@%d", src.Rank()))
+}
+func (r *recordingTracker) OnAbandoned(src *ImageKernel, ctx any) {
+	r.log = append(r.log, fmt.Sprintf("abandon@%d", src.Rank()))
 }
 
 func TestTrackerLifecycle(t *testing.T) {

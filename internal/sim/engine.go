@@ -131,6 +131,19 @@ func (e *Engine) RunUntil(limit Time) error {
 	return nil
 }
 
+// WakeAllParked unparks every currently parked process, in creation
+// order. Callers use it to force re-evaluation of every blocked wait
+// condition after a global state change (e.g. a failure declaration);
+// all park sites re-check their condition in a loop, so the wakeups are
+// harmless where the condition still holds.
+func (e *Engine) WakeAllParked() {
+	for _, p := range e.procs {
+		if p.state == procParked {
+			p.Unpark()
+		}
+	}
+}
+
 // Idle reports whether no events are pending and no processes are live.
 func (e *Engine) Idle() bool { return e.events.Len() == 0 && e.live == 0 }
 

@@ -104,6 +104,14 @@ func (p *Proc) Name() string { return p.name }
 // Engine returns the engine the proc belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
 
+// State returns the proc's scheduling state ("new", "running", "parked",
+// "sleeping", "done") for diagnostics.
+func (p *Proc) State() string { return p.state.String() }
+
+// BlockReason returns what a parked proc is waiting on ("" if not
+// parked), for diagnostics.
+func (p *Proc) BlockReason() string { return p.blockReason }
+
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 

@@ -93,6 +93,34 @@ func (t *Team) String() string {
 	return fmt.Sprintf("team(id=%d, size=%d)", t.id, len(t.members))
 }
 
+// Without returns the subset of t excluding the given world ranks,
+// preserving team-rank order — the survivor team a resilient protocol
+// re-routes over after image failures. The derived team keeps t's id
+// shifted into a disjoint space (bit 62 set, xor of excluded ranks
+// folded in) so it never collides with ids minted by Split; callers
+// that only iterate Members need not care. Excluded ranks that are not
+// members are ignored; if nothing is excluded, t itself is returned.
+func (t *Team) Without(exclude ...int) *Team {
+	drop := make(map[int]bool, len(exclude))
+	hash := int64(0)
+	for _, w := range exclude {
+		if t.Contains(w) && !drop[w] {
+			drop[w] = true
+			hash = hash*31 + int64(w) + 1
+		}
+	}
+	if len(drop) == 0 {
+		return t
+	}
+	members := make([]int, 0, len(t.members)-len(drop))
+	for _, w := range t.members {
+		if !drop[w] {
+			members = append(members, w)
+		}
+	}
+	return New(t.id|1<<62|hash<<32&0x3FFF_FFFF_0000_0000, members)
+}
+
 // SplitSpec is one image's (color, key) contribution to a team_split.
 type SplitSpec struct {
 	World int // world rank of the contributing image

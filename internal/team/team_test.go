@@ -1,6 +1,7 @@
 package team
 
 import (
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -231,5 +232,51 @@ func TestPropertySplitPartitions(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestWithout(t *testing.T) {
+	w := World(6)
+
+	if got := w.Without(); got != w {
+		t.Error("Without() with nothing to drop must return the team itself")
+	}
+	if got := w.Without(9, -1); got != w {
+		t.Error("Without(non-members) must return the team itself")
+	}
+
+	s := w.Without(2)
+	if s.Size() != 5 || s.Contains(2) {
+		t.Fatalf("Without(2) = %v", s)
+	}
+	if want := []int{0, 1, 3, 4, 5}; !reflect.DeepEqual(s.Members(), want) {
+		t.Errorf("Without(2) members = %v, want %v (order preserved)", s.Members(), want)
+	}
+	if s.ID() == w.ID() {
+		t.Error("shrunken team shares the parent's id")
+	}
+	if !s.SubsetOf(w) {
+		t.Error("shrunken team is not a subset of its parent")
+	}
+
+	// Deterministic: the same exclusion yields the same id, different
+	// exclusions different ids — survivors on every image derive the
+	// identical team independently.
+	if a, b := w.Without(2), w.Without(2); a.ID() != b.ID() {
+		t.Errorf("same exclusion, different ids: %d vs %d", a.ID(), b.ID())
+	}
+	if a, b := w.Without(2), w.Without(3); a.ID() == b.ID() {
+		t.Error("different exclusions share an id")
+	}
+
+	// Duplicates in the exclusion list collapse.
+	if a, b := w.Without(2, 2), w.Without(2); a.ID() != b.ID() || !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Errorf("Without(2,2) = %v (id %d), want same as Without(2) = %v (id %d)",
+			a.Members(), a.ID(), b.Members(), b.ID())
+	}
+
+	// Excluding everything but one member still works.
+	if last := w.Without(0, 1, 2, 3, 4); last.Size() != 1 || !last.Contains(5) {
+		t.Errorf("Without(all but 5) = %v", last.Members())
 	}
 }

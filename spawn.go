@@ -3,6 +3,7 @@ package caf
 import (
 	"caf2go/internal/core"
 	"caf2go/internal/fabric"
+	"caf2go/internal/failure"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
@@ -108,6 +109,10 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 			Class:       class,
 			Bytes:       o.bytes,
 			OnDelivered: tok.complete,
+			// A spawn abandoned at a dead image still completes its
+			// token: an EventNotify must not wait forever on a delivery
+			// the fabric has charged off.
+			OnAbandoned: tok.complete,
 		})
 	}
 
@@ -133,6 +138,24 @@ func (m *Machine) handleSpawn(d *rt.Delivery) {
 		// cofence inside it observes only operations it launched
 		// (dynamic scoping, paper Fig. 10 / §III-B3).
 		img := &Image{m: m, st: st, proc: p, inheritedFinish: msg.finishID, ct: m.newTracker()}
+		if m.det != nil {
+			// A shipped function aborted by a failure declaration still
+			// completes its delivery: the enclosing finish's received ==
+			// completed invariant must hold even for activities that
+			// died blocked on a dead peer.
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				ab, ok := r.(failure.Abort)
+				if !ok {
+					panic(r)
+				}
+				m.recordAbort(st.kern.Rank(), ab.Err)
+				d.Complete()
+			}()
+		}
 		if rs := m.race; rs != nil {
 			img.rc = rs.d.NewCtx(m.raceChanArrive(from, st.kern.Rank(), msg.rclk))
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"caf2go/internal/core"
+	"caf2go/internal/failure"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
@@ -121,6 +122,10 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 			Class:       classForBytes(img.m, bytes),
 			Bytes:       bytes,
 			OnDelivered: tok.complete,
+			// See Spawn: abandonment completes the token so notifies
+			// gated on outstanding deliveries are not lost with the
+			// dead destination.
+			OnAbandoned: tok.complete,
 		})
 	}
 	if implicit {
@@ -143,6 +148,22 @@ func (m *Machine) handleSpawnNamed(d *rt.Delivery) {
 	st.kern.Go("spawn:"+msg.name, func(p *sim.Proc) {
 		st.spawnsExecuted++
 		img := &Image{m: m, st: st, proc: p, inheritedFinish: msg.finishID, ct: m.newTracker()}
+		if m.det != nil {
+			// Same contract as handleSpawn: an aborted shipped function
+			// still completes its delivery for the finish counters.
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				ab, ok := r.(failure.Abort)
+				if !ok {
+					panic(r)
+				}
+				m.recordAbort(st.kern.Rank(), ab.Err)
+				d.Complete()
+			}()
+		}
 		if rs := m.race; rs != nil {
 			img.rc = rs.d.NewCtx(m.raceChanArrive(from, st.kern.Rank(), msg.rclk))
 		}
