@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-json-quick fuzz-smoke chaos-crash ci figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench bench-json bench-json-quick fuzz-smoke profile-smoke chaos-crash ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -32,6 +32,14 @@ bench-json:
 
 bench-json-quick:
 	$(GO) run ./cmd/benchjson -quick
+
+# Traced quickstart driven through the whole observability pipeline:
+# lifecycle tracing + metrics on, profile JSON written, then parsed and
+# rendered by the cafprof CLI.
+profile-smoke:
+	$(GO) run ./examples/quickstart -profile /tmp/caf2go_profile_smoke.json
+	$(GO) run ./cmd/cafprof -metrics /tmp/caf2go_profile_smoke.json
+	rm -f /tmp/caf2go_profile_smoke.json
 
 # Short fuzz pass over the conflict-range intersection kernel.
 fuzz-smoke:

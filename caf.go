@@ -24,6 +24,7 @@ package caf
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 
@@ -31,12 +32,18 @@ import (
 	"caf2go/internal/core"
 	"caf2go/internal/fabric"
 	"caf2go/internal/failure"
+	"caf2go/internal/metrics"
+	"caf2go/internal/prof"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
 	"caf2go/internal/team"
 	"caf2go/internal/trace"
 )
+
+// MetricsSnapshot re-exports the deterministic metrics export embedded in
+// Report.Metrics (export with WriteJSON / WritePrometheus).
+type MetricsSnapshot = metrics.Snapshot
 
 // Time re-exports the virtual time type for callers of the public API.
 type Time = sim.Time
@@ -128,8 +135,18 @@ type Config struct {
 	// without the Fig. 7 wait-until precondition (the Fig. 18 baseline).
 	FinishNoWait bool
 	// TraceCapacity, when positive, enables execution tracing with the
-	// given event capacity; export via Machine.Trace().
+	// given event capacity; export via Machine.Trace(). Tracing also
+	// enables the operation-lifecycle tracker: every async op gets a
+	// stable ID, its Fig. 1 completion-level transitions are stamped and
+	// linked as Chrome flow events, and parked intervals are attributed
+	// to the ops that released them (Machine.Lifecycle, cmd/cafprof).
 	TraceCapacity int
+	// Metrics enables the deterministic per-image metrics registry
+	// (fabric link traffic, queue depths, coalescing batch occupancy,
+	// finish round timings, failure counters), snapshotted into
+	// Report.Metrics. Off by default; when off, runs stay bit-identical
+	// to builds without the registry.
+	Metrics bool
 	// FlatCollectives replaces the binomial collective trees with a
 	// centralized star — the O(p)-critical-path ablation baseline for
 	// the finish cost analysis.
@@ -167,6 +184,8 @@ type Machine struct {
 	world     *team.Team
 	states    []*imageState
 	tracer    *trace.Recorder
+	life      *trace.Lifecycle
+	met       *metrics.Registry
 	registry  *fnRegistry
 	conflicts *conflictState
 	race      *raceState
@@ -195,6 +214,12 @@ type imageState struct {
 	// carrSeq matches collective coarray allocations per team.
 	carrSeq map[int64]uint64
 
+	// nextTid hands out trace strand ids: the SPMD main is tid 0, each
+	// spawned handler proc on this image gets the next id, so Perfetto
+	// renders handler work on its own track instead of folding it onto
+	// the main strand.
+	nextTid int
+
 	// Per-image counters surfaced in Stats.
 	spawnsSent     int64
 	spawnsExecuted int64
@@ -219,13 +244,21 @@ func NewMachine(cfg Config) *Machine {
 		cfg.MaxDelayed = 8
 	}
 	var tracer *trace.Recorder
+	var life *trace.Lifecycle
 	if cfg.TraceCapacity > 0 {
 		tracer = trace.NewRecorder(cfg.TraceCapacity)
+		life = trace.NewLifecycle(tracer, cfg.TraceCapacity)
 		if cfg.Fabric.Coalescing.Enabled() {
 			// Per-flush trace instants; wired before the kernel copies
 			// the fabric config.
 			cfg.Fabric.FlushObserver = &flushTracer{tr: tracer}
 		}
+	}
+	var met *metrics.Registry
+	if cfg.Metrics {
+		met = metrics.New()
+		// Wired before the kernel copies the fabric config.
+		cfg.Fabric.Metrics = met
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	k := rt.NewKernel(eng, cfg.Images, cfg.Fabric)
@@ -242,7 +275,10 @@ func NewMachine(cfg Config) *Machine {
 		coarrays: make(map[carrKey]*carrSlot),
 	}
 	m.plane = core.NewPlane(k, m.comm, core.Config{WaitQuiescent: !cfg.FinishNoWait})
+	m.plane.SetMetrics(met)
 	m.tracer = tracer
+	m.life = life
+	m.met = met
 	var crash map[int]sim.Time
 	if cfg.Fabric.Faults != nil {
 		crash = cfg.Fabric.Faults.Crash
@@ -421,10 +457,10 @@ type Report struct {
 	// (each batch counts once in Msgs); Flushes breaks down why the
 	// aggregation buffers emptied. All zero when Config.Coalescing is
 	// the zero value.
-	MsgsCoalesced uint64
-	Flushes       uint64
-	FlushBySize   uint64
-	FlushByTimer  uint64
+	MsgsCoalesced  uint64
+	Flushes        uint64
+	FlushBySize    uint64
+	FlushByTimer   uint64
 	FlushByBarrier uint64
 	// ImagesFailed counts images declared dead by the failure detector;
 	// OpsAbortedByFailure counts blocking primitives that surfaced an
@@ -434,6 +470,13 @@ type Report struct {
 	ImagesFailed         int
 	OpsAbortedByFailure  int64
 	FinishLostActivities int64
+	// TraceDropped reports per-category counts of trace records dropped
+	// at capacity (recorder events plus lifecycle logs); nil when nothing
+	// was dropped or tracing is off.
+	TraceDropped map[string]int `json:",omitempty"`
+	// Metrics is the deterministic registry snapshot; nil when
+	// Config.Metrics is off.
+	Metrics *MetricsSnapshot `json:",omitempty"`
 }
 
 func (m *Machine) report() Report {
@@ -463,6 +506,22 @@ func (m *Machine) report() Report {
 		r.SpawnsSent += st.spawnsSent
 		r.SpawnsExecuted += st.spawnsExecuted
 		r.Copies += st.copies
+	}
+	for cat, n := range m.tracer.Dropped() {
+		if r.TraceDropped == nil {
+			r.TraceDropped = make(map[string]int)
+		}
+		r.TraceDropped[cat] += n
+	}
+	for cat, n := range m.life.Dropped() {
+		if r.TraceDropped == nil {
+			r.TraceDropped = make(map[string]int)
+		}
+		r.TraceDropped[cat] += n
+	}
+	if m.met.Enabled() {
+		snap := m.met.Snapshot()
+		r.Metrics = &snap
 	}
 	return r
 }
@@ -509,6 +568,7 @@ func (m *Machine) newTracker() *core.CofenceTracker {
 // conditions against fully reconciled state.
 func (m *Machine) onImageDeath(rank int, at sim.Time) {
 	_ = at
+	m.met.Counter("caf_images_failed_total", "images declared dead by the failure detector").Add(rank, 1)
 	m.plane.OnDeath(rank)
 	m.k.Fabric().AbandonForDead(rank)
 	m.eng.WakeAllParked()
@@ -518,6 +578,7 @@ func (m *Machine) onImageDeath(rank int, at sim.Time) {
 // declaration; the first abort per image becomes that image's error.
 func (m *Machine) recordAbort(rank int, err *failure.ImageFailedError) {
 	m.opsAborted++
+	m.met.Counter("caf_ops_aborted_total", "blocking primitives aborted by a failure declaration").Add(rank, 1)
 	if m.imgErrs != nil && m.imgErrs[rank] == nil {
 		m.imgErrs[rank] = err
 	}
@@ -543,18 +604,90 @@ func (m *Machine) DeadImages() []int { return m.det.DeadRanks() }
 // disabled. Export with WriteChromeTrace / WriteSummary.
 func (m *Machine) Trace() *trace.Recorder { return m.tracer }
 
-// traceSpan records a span attributed to the image's current proc.
+// Lifecycle returns the operation-lifecycle tracker (op stage timings,
+// blocked-interval attribution, finish round records), or nil when
+// tracing is disabled.
+func (m *Machine) Lifecycle() *trace.Lifecycle { return m.life }
+
+// Metrics returns the metrics registry, or nil when Config.Metrics is
+// off. Snapshot for export; also embedded in Report.Metrics.
+func (m *Machine) Metrics() *metrics.Registry { return m.met }
+
+// Profile assembles the run's observability export: operation
+// lifecycles, blocked intervals, finish detection rounds, and the
+// metrics snapshot. Analyze with internal/prof or the cafprof CLI.
+func (m *Machine) Profile() *prof.Profile {
+	p := &prof.Profile{
+		Images:   len(m.states),
+		Duration: m.eng.Now(),
+		Ops:      m.life.Ops(),
+		Blocks:   m.life.Blocks(),
+		Finishes: m.life.FinishRounds(),
+	}
+	for cat, n := range m.tracer.Dropped() {
+		if p.Dropped == nil {
+			p.Dropped = make(map[string]int)
+		}
+		p.Dropped[cat] += n
+	}
+	for cat, n := range m.life.Dropped() {
+		if p.Dropped == nil {
+			p.Dropped = make(map[string]int)
+		}
+		p.Dropped[cat] += n
+	}
+	if m.met.Enabled() {
+		snap := m.met.Snapshot()
+		p.Metrics = &snap
+	}
+	return p
+}
+
+// WriteProfile serializes Profile as JSON — the cafprof input format.
+func (m *Machine) WriteProfile(w io.Writer) error { return prof.Write(w, m.Profile()) }
+
+// traceSpan records a span attributed to the image's current strand.
 func (img *Image) traceSpan(name, cat string, start Time) {
 	if tr := img.m.tracer; tr.Enabled() {
-		tr.Span(img.Rank(), img.proc.ID(), name, cat, start, img.Now()-start)
+		tr.Span(img.Rank(), img.tid, name, cat, start, img.Now()-start)
 	}
 }
 
 // traceInstant records an instant on the image.
 func (img *Image) traceInstant(name, cat string) {
 	if tr := img.m.tracer; tr.Enabled() {
-		tr.Instant(img.Rank(), name, cat, img.Now())
+		tr.Instant(img.Rank(), img.tid, name, cat, img.Now())
 	}
+}
+
+// opNew registers a lifecycle-tracked async op initiated by this image
+// (0 when tracing is off — all stamping helpers ignore id 0).
+func (img *Image) opNew(kind string, peer int) int64 {
+	return img.m.life.OpNew(kind, img.Rank(), peer, img.Now())
+}
+
+// opStage stamps a completion level on an op as observed on this image.
+func (img *Image) opStage(id int64, stage trace.Stage) {
+	img.m.life.OpStage(id, img.Rank(), stage, img.Now())
+}
+
+// opStageAt stamps a completion level as observed on image rank at the
+// current engine time (for handler-side stamping without an Image).
+func (m *Machine) opStageAt(id int64, rank int, stage trace.Stage) {
+	m.life.OpStage(id, rank, stage, m.eng.Now())
+}
+
+// beginBlock opens a parked-interval record on this strand; redeem with
+// endBlock after the primitive returns.
+func (img *Image) beginBlock(prim string) trace.BlockToken {
+	if img.m.life == nil {
+		return trace.BlockToken{}
+	}
+	return img.m.life.BeginBlock(img.Rank(), img.tid, prim, img.Now())
+}
+
+func (img *Image) endBlock(tok trace.BlockToken) {
+	img.m.life.EndBlock(tok, img.Now())
 }
 
 // Run builds a machine, runs main on every image, and returns the report.
@@ -579,6 +712,11 @@ type Image struct {
 	m    *Machine
 	st   *imageState
 	proc *sim.Proc
+
+	// tid is the trace strand id: 0 for the SPMD main, a fresh per-image
+	// id for each spawned handler proc (satisfying Perfetto's
+	// one-track-per-strand rendering).
+	tid int
 
 	// ct tracks the implicitly-synchronized operations initiated by THIS
 	// execution context. A cofence inside a shipped function captures

@@ -2,6 +2,7 @@ package caf_test
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	caf "caf2go"
@@ -424,7 +425,7 @@ func TestDeterministicReports(t *testing.T) {
 		return rep
 	}
 	a, b := once(), once()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("nondeterministic run:\n%+v\n%+v", a, b)
 	}
 }

@@ -20,12 +20,14 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "output file (default: stdout)")
 	quick := flag.Bool("quick", false, "seconds-scale smoke sweep")
+	metrics := flag.Bool("metrics", false, "embed each row's per-image metrics snapshot")
 	flag.Parse()
 
 	o := bench.DefaultCoalesce()
 	if *quick {
 		o = bench.SmokeCoalesce()
 	}
+	o.Metrics = *metrics
 
 	wall := time.Now()
 	rep, err := bench.Coalesce(o)

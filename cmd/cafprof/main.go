@@ -1,0 +1,53 @@
+// Command cafprof analyzes an operation-lifecycle profile exported by
+// Machine.WriteProfile (or the examples' -profile flags): per-stage
+// latency histograms over the four completion levels, the blocked-time
+// "top blockers" table, a per-image utilization timeline, and the finish
+// termination-detection round counts (Theorem 1's ≤ L+1 bound).
+//
+//	go run ./examples/quickstart -profile prof.json
+//	go run ./cmd/cafprof prof.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"caf2go/internal/prof"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cafprof: ")
+	top := flag.Int("top", 5, "releaser ops listed per blocking primitive")
+	metrics := flag.Bool("metrics", false, "include raw metric families")
+	asJSON := flag.Bool("json", false, "re-emit the normalized profile as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cafprof [flags] profile.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	p, err := prof.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		if err := prof.Write(os.Stdout, p); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	prof.Render(os.Stdout, p, prof.RenderOpts{TopBlockers: *top, Metrics: *metrics})
+}

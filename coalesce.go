@@ -18,7 +18,7 @@ type flushTracer struct {
 var _ fabric.FlushObserver = (*flushTracer)(nil)
 
 func (ft *flushTracer) CoalesceFlush(src, dst, msgs, bytes int, reason fabric.FlushReason, now sim.Time) {
-	ft.tr.Instant(src,
+	ft.tr.Instant(src, 0,
 		fmt.Sprintf("coalesce-flush(%s) %d msgs/%dB -> img%d", reason, msgs, bytes, dst),
 		"fabric", now)
 }

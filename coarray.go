@@ -79,7 +79,7 @@ func NewCoarray[T any](img *Image, t *Team, n int) *Coarray[T] {
 	}
 	// Allocation is collective: synchronize before anyone touches it.
 	// The barrier is also a race-detector fence over the team.
-	done := img.collBracket(t, true, true)
+	done := img.collBracket("barrier", t, true, true)
 	img.m.comm.Barrier(img.proc, st.kern, t)
 	done()
 	return ca

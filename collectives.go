@@ -5,6 +5,7 @@ import (
 	"caf2go/internal/core"
 	"caf2go/internal/race"
 	"caf2go/internal/team"
+	"caf2go/internal/trace"
 )
 
 // ReduceOp re-exports the reduction operator type.
@@ -54,14 +55,18 @@ func OpEvent(e *Event) CollOpt { return func(o *collOpts) { o.opE = e } }
 // WaitLocalData blocks until the image's buffers are usable: inputs may
 // be overwritten, outputs read (Fig. 4).
 func (c *Collective) WaitLocalData() {
+	btok := c.img.beginBlock("collective")
 	c.h.WaitLocalData(c.img.proc)
+	c.img.endBlock(btok)
 	c.raceAcquire()
 }
 
 // WaitLocalOp blocks until all pair-wise communication involving this
 // image is complete.
 func (c *Collective) WaitLocalOp() {
+	btok := c.img.beginBlock("collective")
 	c.h.WaitLocalOp(c.img.proc)
+	c.img.endBlock(btok)
 	c.raceAcquire()
 }
 
@@ -101,8 +106,20 @@ func (c *Collective) Result() any { return c.h.Result() }
 // plus the race detector's role-filtered release/acquire edges — rel
 // images contribute their clock to the instance at initiation, acq
 // images join the accumulation at their completion points.
-func (img *Image) wrap(h *collect.Handle, class core.OpClass, o collOpts, t *Team, rel, acq bool) *Collective {
+func (img *Image) wrap(h *collect.Handle, kind string, class core.OpClass, o collOpts, t *Team, rel, acq bool) *Collective {
 	implicit := o.dataE == nil && o.opE == nil
+	// Lifecycle: a collective has no single peer; its local-op completion
+	// is also its global completion from this image's perspective (all
+	// pair-wise communication involving this image is done, Fig. 4).
+	if opID := img.opNew("coll:"+kind, -1); opID != 0 {
+		m, me := img.m, img.Rank()
+		img.opStage(opID, trace.StageInit)
+		h.OnLocalData(func() { m.opStageAt(opID, me, trace.StageLocalData) })
+		h.OnLocalOp(func() {
+			m.opStageAt(opID, me, trace.StageLocalOp)
+			m.opStageAt(opID, me, trace.StageGlobal)
+		})
+	}
 	var cs *collSync
 	var selfClk race.Clock
 	if rs := img.m.race; rs != nil && img.rc != nil {
@@ -186,7 +203,7 @@ func (img *Image) BarrierAsync(t *Team, opts ...CollOpt) *Collective {
 		opt(&o)
 	}
 	h := img.m.comm.BarrierAsync(img.st.kern, t, img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, 0, o, t, true, true)
+	return img.wrap(h, "barrier", 0, o, t, true, true)
 }
 
 // BroadcastAsync begins an asynchronous broadcast of val (bytes wide)
@@ -205,7 +222,7 @@ func (img *Image) BroadcastAsync(t *Team, root int, val any, bytes int, opts ...
 	h := img.m.comm.BroadcastAsync(img.st.kern, t, root, val, bytes,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
 	// Receivers are ordered after the root; the root after no one.
-	return img.wrap(h, class, o, t, isRoot, true)
+	return img.wrap(h, "broadcast", class, o, t, isRoot, true)
 }
 
 // ReduceAsync begins an asynchronous reduction of vec to team rank root.
@@ -223,7 +240,7 @@ func (img *Image) ReduceAsync(t *Team, root int, op ReduceOp, vec []int64, opts 
 	h := img.m.comm.ReduceAsync(img.st.kern, t, root, op, vec,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
 	// The root is ordered after every contributor; contributors continue.
-	return img.wrap(h, class, o, t, true, isRoot)
+	return img.wrap(h, "reduce", class, o, t, true, isRoot)
 }
 
 // AllreduceAsync begins an asynchronous all-reduce of vec.
@@ -235,7 +252,7 @@ func (img *Image) AllreduceAsync(t *Team, op ReduceOp, vec []int64, opts ...Coll
 	}
 	h := img.m.comm.AllreduceAsync(img.st.kern, t, op, vec,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, core.OpReads|core.OpWrites, o, t, true, true)
+	return img.wrap(h, "allreduce", core.OpReads|core.OpWrites, o, t, true, true)
 }
 
 // GatherAsync begins an asynchronous gather of val (bytes wide) to root.
@@ -252,7 +269,7 @@ func (img *Image) GatherAsync(t *Team, root int, val any, bytes int, opts ...Col
 	}
 	h := img.m.comm.GatherAsync(img.st.kern, t, root, val, bytes,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, class, o, t, true, isRoot)
+	return img.wrap(h, "gather", class, o, t, true, isRoot)
 }
 
 // ScatterAsync begins an asynchronous scatter of vals (one per team rank,
@@ -270,7 +287,7 @@ func (img *Image) ScatterAsync(t *Team, root int, vals []any, bytes int, opts ..
 	}
 	h := img.m.comm.ScatterAsync(img.st.kern, t, root, vals, bytes,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, class, o, t, isRoot, true)
+	return img.wrap(h, "scatter", class, o, t, isRoot, true)
 }
 
 // AlltoallAsync begins an asynchronous all-to-all of vals (one per rank).
@@ -282,7 +299,7 @@ func (img *Image) AlltoallAsync(t *Team, vals []any, bytes int, opts ...CollOpt)
 	}
 	h := img.m.comm.AlltoallAsync(img.st.kern, t, vals, bytes,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, core.OpReads|core.OpWrites, o, t, true, true)
+	return img.wrap(h, "alltoall", core.OpReads|core.OpWrites, o, t, true, true)
 }
 
 // ScanAsync begins an asynchronous inclusive prefix reduction in
@@ -295,7 +312,7 @@ func (img *Image) ScanAsync(t *Team, op ReduceOp, vec []int64, opts ...CollOpt) 
 	}
 	h := img.m.comm.ScanAsync(img.st.kern, t, op, vec,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, core.OpReads|core.OpWrites, o, t, true, true)
+	return img.wrap(h, "scan", core.OpReads|core.OpWrites, o, t, true, true)
 }
 
 // SortAsync begins an asynchronous global sort of keys (each image keeps
@@ -308,7 +325,7 @@ func (img *Image) SortAsync(t *Team, keys []int64, opts ...CollOpt) *Collective 
 	}
 	h := img.m.comm.SortAsync(img.st.kern, t, keys,
 		img.collTrack(t, o.dataE == nil && o.opE == nil))
-	return img.wrap(h, core.OpReads|core.OpWrites, o, t, true, true)
+	return img.wrap(h, "sort", core.OpReads|core.OpWrites, o, t, true, true)
 }
 
 // ---------------------------------------------------------------------
@@ -321,7 +338,7 @@ func (img *Image) SortAsync(t *Team, keys []int64, opts ...CollOpt) *Collective 
 // member's pre-barrier activity.
 func (img *Image) Barrier(t *Team) {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, true, true)
+	done := img.collBracket("barrier", t, true, true)
 	img.m.comm.Barrier(img.proc, img.st.kern, t)
 	done()
 }
@@ -329,7 +346,7 @@ func (img *Image) Barrier(t *Team) {
 // Broadcast distributes val (bytes wide) from team rank root.
 func (img *Image) Broadcast(t *Team, root int, val any, bytes int) any {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, t.MustRank(img.Rank()) == root, true)
+	done := img.collBracket("broadcast", t, t.MustRank(img.Rank()) == root, true)
 	out := img.m.comm.Broadcast(img.proc, img.st.kern, t, root, val, bytes)
 	done()
 	return out
@@ -338,7 +355,7 @@ func (img *Image) Broadcast(t *Team, root int, val any, bytes int) any {
 // Reduce folds vec to the root (result nil elsewhere).
 func (img *Image) Reduce(t *Team, root int, op ReduceOp, vec []int64) []int64 {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, true, t.MustRank(img.Rank()) == root)
+	done := img.collBracket("reduce", t, true, t.MustRank(img.Rank()) == root)
 	out := img.m.comm.Reduce(img.proc, img.st.kern, t, root, op, vec)
 	done()
 	return out
@@ -347,7 +364,7 @@ func (img *Image) Reduce(t *Team, root int, op ReduceOp, vec []int64) []int64 {
 // Allreduce folds vec across t, returning the result everywhere.
 func (img *Image) Allreduce(t *Team, op ReduceOp, vec []int64) []int64 {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, true, true)
+	done := img.collBracket("allreduce", t, true, true)
 	out := img.m.comm.Allreduce(img.proc, img.st.kern, t, op, vec)
 	done()
 	return out
@@ -356,7 +373,7 @@ func (img *Image) Allreduce(t *Team, op ReduceOp, vec []int64) []int64 {
 // Gather collects each member's val at the root.
 func (img *Image) Gather(t *Team, root int, val any, bytes int) []any {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, true, t.MustRank(img.Rank()) == root)
+	done := img.collBracket("gather", t, true, t.MustRank(img.Rank()) == root)
 	out := img.m.comm.Gather(img.proc, img.st.kern, t, root, val, bytes)
 	done()
 	return out
@@ -365,7 +382,7 @@ func (img *Image) Gather(t *Team, root int, val any, bytes int) []any {
 // Scatter distributes vals (one per team rank) from the root.
 func (img *Image) Scatter(t *Team, root int, vals []any, bytes int) any {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, t.MustRank(img.Rank()) == root, true)
+	done := img.collBracket("scatter", t, t.MustRank(img.Rank()) == root, true)
 	out := img.m.comm.Scatter(img.proc, img.st.kern, t, root, vals, bytes)
 	done()
 	return out
@@ -374,7 +391,7 @@ func (img *Image) Scatter(t *Team, root int, vals []any, bytes int) any {
 // Alltoall exchanges vals pairwise.
 func (img *Image) Alltoall(t *Team, vals []any, bytes int) []any {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, true, true)
+	done := img.collBracket("alltoall", t, true, true)
 	out := img.m.comm.Alltoall(img.proc, img.st.kern, t, vals, bytes)
 	done()
 	return out
@@ -383,7 +400,7 @@ func (img *Image) Alltoall(t *Team, vals []any, bytes int) []any {
 // Scan returns the inclusive prefix reduction in team-rank order.
 func (img *Image) Scan(t *Team, op ReduceOp, vec []int64) []int64 {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, true, true)
+	done := img.collBracket("scan", t, true, true)
 	out := img.m.comm.Scan(img.proc, img.st.kern, t, op, vec)
 	done()
 	return out
@@ -392,7 +409,7 @@ func (img *Image) Scan(t *Team, op ReduceOp, vec []int64) []int64 {
 // SortKeys globally sorts the members' keys.
 func (img *Image) SortKeys(t *Team, keys []int64) []int64 {
 	t = img.resolveTeam(t)
-	done := img.collBracket(t, true, true)
+	done := img.collBracket("sort", t, true, true)
 	out := img.m.comm.Sort(img.proc, img.st.kern, t, keys)
 	done()
 	return out

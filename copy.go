@@ -7,6 +7,7 @@ import (
 	"caf2go/internal/fabric"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
+	"caf2go/internal/trace"
 )
 
 // CopyOpt configures one asynchronous copy.
@@ -38,6 +39,7 @@ type copyPutMsg struct {
 	write     func(data any)
 	onWritten func() // runs on the destination image after the write
 	destE     *Event
+	opID      int64 // lifecycle op id (0 = untracked)
 
 	// Race-detector plumbing (nil/zero when off): wclk is the op's write
 	// clock at send; recordW registers the destination access under the
@@ -107,6 +109,16 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 	bytes := src.Len()*src.elemBytes() + 16
 	class := classForBytes(img.m, bytes)
 
+	// Lifecycle tracking: the op's peer is the remote side (the
+	// destination for puts and third-party copies, the source for gets).
+	peer := me
+	if !dstLocal {
+		peer = dst.rank
+	} else if !srcLocal {
+		peer = src.rank
+	}
+	opID := img.opNew("copy", peer)
+
 	var track any
 	var tid int64
 	if implicit {
@@ -150,9 +162,37 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 		}
 	}
 
+	// Lifecycle local-data countdown, independent of the cofence signals
+	// above (those exist only for implicit ops): one tick per local
+	// buffer, stamped when the last becomes reusable/readable.
+	ldLeft := 0
+	if srcLocal {
+		ldLeft++
+	}
+	if dstLocal {
+		ldLeft++
+	}
+	ldSignal := func() {
+		ldLeft--
+		if ldLeft == 0 {
+			img.m.opStageAt(opID, me, trace.StageLocalData)
+		}
+	}
+
 	var onWritten func()
 	if dstLocal && implicit {
 		onWritten = signal
+	}
+	if opID != 0 && dstLocal {
+		// Only installed when tracked, so untracked runs keep the
+		// original (possibly nil) callback bit-identically.
+		prev := onWritten
+		onWritten = func() {
+			ldSignal()
+			if prev != nil {
+				prev()
+			}
+		}
 	}
 
 	// forkOpClocks runs at actual initiation (the predicate may defer
@@ -190,6 +230,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 		}
 		start = func() {
 			forkOpClocks()
+			img.m.opStageAt(opID, me, trace.StageInit)
 			relSrc := claimSec(img.m, src, false, "copy_async read")
 			raceRecord(img.m, src, false, rid, rclk, "copy_async read")
 			data := src.read() // snapshot at initiation
@@ -204,6 +245,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 				},
 				onWritten: onWritten,
 				destE:     o.destE,
+				opID:      opID,
 				wclk:      wclk,
 			}
 			if rs != nil && dst.ca != nil {
@@ -222,9 +264,26 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 				// and notifies must not be gated on it forever.
 				OnAbandoned: tok.complete,
 			}
+			if opID != 0 {
+				m := img.m
+				sendOpts.OnDelivered = func() {
+					m.opStageAt(opID, me, trace.StageLocalOp)
+					tok.complete()
+				}
+				sendOpts.OnAbandoned = func() {
+					// The op will never complete remotely; close out its
+					// record so blocked-time attribution still sees it.
+					m.opStageAt(opID, me, trace.StageLocalOp)
+					m.opStageAt(opID, me, trace.StageGlobal)
+					tok.complete()
+				}
+			}
 			srcE := o.srcE
 			sendOpts.OnInjected = func() {
 				// Source buffer reusable: data is on the wire.
+				if opID != 0 {
+					ldSignal()
+				}
 				if implicit {
 					signal()
 				}
@@ -247,6 +306,12 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 		}
 		start = func() {
 			forkOpClocks()
+			img.m.opStageAt(opID, me, trace.StageInit)
+			if ldLeft == 0 {
+				// Third-party copy: no initiator-local buffers, so local
+				// data completes at initiation.
+				img.m.opStageAt(opID, me, trace.StageLocalData)
+			}
 			relSrc := claimSec(img.m, src, false, "copy_async read")
 			relDst := claimSec(img.m, dst, true, "copy_async write")
 			// The notify token completes when the read request lands —
@@ -272,6 +337,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 					},
 					onWritten: onWritten,
 					destE:     o.destE,
+					opID:      opID,
 					wclk:      wclk,
 				},
 			}
@@ -290,7 +356,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 					}
 				}
 			}
-			st.kern.Send(src.rank, tagCopyGetReq, msg, rt.SendOpts{
+			reqOpts := rt.SendOpts{
 				Track:       track,
 				Class:       fabric.AMShort,
 				Bytes:       32,
@@ -298,7 +364,22 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 				// A get request abandoned at a dead owner completes the
 				// token, like the put path above.
 				OnAbandoned: tok.complete,
-			})
+			}
+			if opID != 0 {
+				m := img.m
+				reqOpts.OnDelivered = func() {
+					// Read request accepted at the source: nothing more is
+					// required of the initiator.
+					m.opStageAt(opID, me, trace.StageLocalOp)
+					tok.complete()
+				}
+				reqOpts.OnAbandoned = func() {
+					m.opStageAt(opID, me, trace.StageLocalOp)
+					m.opStageAt(opID, me, trace.StageGlobal)
+					tok.complete()
+				}
+			}
+			st.kern.Send(src.rank, tagCopyGetReq, msg, reqOpts)
 		}
 	}
 
@@ -359,6 +440,8 @@ func (m *Machine) handleCopyPut(d *rt.Delivery) {
 	if msg.onWritten != nil {
 		msg.onWritten()
 	}
+	// Data applied at the destination: the copy is complete everywhere.
+	m.opStageAt(msg.opID, here, trace.StageGlobal)
 	if msg.destE != nil {
 		m.notifyFrom(here, msg.destE, eff)
 	}
@@ -388,6 +471,8 @@ func (m *Machine) handleCopyGetReq(d *rt.Delivery) {
 func (m *Machine) handleEventNotify(d *rt.Delivery) {
 	msg := d.Payload.(*eventNotifyMsg)
 	m.eventRelease(msg.e, msg.clk)
+	// The post is visible on the owner: the notify is globally complete.
+	m.opStageAt(msg.opID, d.Img.Rank(), trace.StageGlobal)
 	m.post(msg.e)
 }
 
@@ -444,6 +529,9 @@ func Get[T any](img *Image, src Sec[T]) []T {
 	rel := claimSec(img.m, src, false, "get")
 	raceRecordCtx(img, src, false, "get")
 	bytes := src.Len()*src.elemBytes() + 16
+	opID := img.opNew("get", src.rank)
+	img.opStage(opID, trace.StageInit)
+	tok := img.beginBlock("get")
 	reply := img.st.kern.Call(img.proc, src.rank, tagBlockingGet, &blockingGetMsg{
 		read: func() any {
 			v := src.read()
@@ -452,6 +540,12 @@ func Get[T any](img *Image, src Sec[T]) []T {
 		},
 		bytes: bytes,
 	}, rt.SendOpts{Class: fabric.AMShort, Bytes: 24})
+	// A blocking round trip collapses the completion levels at return;
+	// stamped before endBlock so the park is attributed to this op.
+	img.opStage(opID, trace.StageLocalData)
+	img.opStage(opID, trace.StageLocalOp)
+	img.opStage(opID, trace.StageGlobal)
+	img.endBlock(tok)
 	return reply.([]T)
 }
 
@@ -470,12 +564,19 @@ func Put[T any](img *Image, dst Sec[T], vals []T) {
 	raceRecordCtx(img, dst, true, "put")
 	data := append([]T(nil), vals...)
 	bytes := len(vals)*dst.elemBytes() + 16
+	opID := img.opNew("put", dst.rank)
+	img.opStage(opID, trace.StageInit)
+	tok := img.beginBlock("put")
 	img.st.kern.Call(img.proc, dst.rank, tagBlockingPut, &blockingPutMsg{
 		write: func() {
 			dst.write(data)
 			rel()
 		},
 	}, rt.SendOpts{Class: classForBytes(img.m, bytes), Bytes: bytes})
+	img.opStage(opID, trace.StageLocalData)
+	img.opStage(opID, trace.StageLocalOp)
+	img.opStage(opID, trace.StageGlobal)
+	img.endBlock(tok)
 }
 
 func (m *Machine) handleBlockingGet(d *rt.Delivery) {

@@ -8,6 +8,7 @@ import (
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
+	"caf2go/internal/trace"
 )
 
 // Event is a CAF 2.0 event variable: a counting synchronization object
@@ -98,21 +99,29 @@ func (m *Machine) whenPosted(e *Event, fn func()) {
 
 // eventNotifyMsg carries a notification and its release clock.
 type eventNotifyMsg struct {
-	e   *Event
-	clk race.Clock
+	e    *Event
+	clk  race.Clock
+	opID int64 // lifecycle op id of the notify (0 = untracked)
 }
 
 // notifyFrom delivers one post to e with the given release clock (nil
 // when the race detector is off), sending an active message when the
 // signal originates on a different image than the owner.
 func (m *Machine) notifyFrom(fromRank int, e *Event, clk race.Clock) {
+	m.notifyFromOp(fromRank, e, clk, 0)
+}
+
+// notifyFromOp is notifyFrom carrying a lifecycle op id: the notify op
+// completes globally when the post lands on the owner.
+func (m *Machine) notifyFromOp(fromRank int, e *Event, clk race.Clock, opID int64) {
 	if e.owner == fromRank {
 		m.eventRelease(e, clk)
+		m.opStageAt(opID, fromRank, trace.StageGlobal)
 		m.post(e)
 		return
 	}
 	// Notifies release waiters parked on the owner: never coalesce them.
-	m.states[fromRank].kern.Send(e.owner, tagEventNotify, &eventNotifyMsg{e: e, clk: clk}, rt.SendOpts{
+	m.states[fromRank].kern.Send(e.owner, tagEventNotify, &eventNotifyMsg{e: e, clk: clk, opID: opID}, rt.SendOpts{
 		Class:      fabric.AMShort,
 		Bytes:      16,
 		NoCoalesce: true,
@@ -141,12 +150,19 @@ func (img *Image) EventNotify(e *Event) {
 	img.ct.Flush()
 	img.st.kern.FlushCoalesced()
 	from := img.Rank()
+	opID := img.opNew("notify", e.owner)
+	img.opStage(opID, trace.StageInit)
 	// Release clock: the notifier's clock at the notify, joined below
 	// with the clocks of the outstanding remote updates the notify waits
 	// on — a waiter is ordered after those updates' writes too.
 	rel := img.raceRelease()
-	img.m.afterOutstandingDeliveries(st, func(dclk race.Clock) {
-		img.m.notifyFrom(from, e, race.Join(rel, dclk))
+	m := img.m
+	m.afterOutstandingDeliveries(st, func(dclk race.Clock) {
+		// The release precondition holds: every outstanding update has
+		// been delivered, nothing more is pending locally.
+		m.opStageAt(opID, from, trace.StageLocalData)
+		m.opStageAt(opID, from, trace.StageLocalOp)
+		m.notifyFromOp(from, e, race.Join(rel, dclk), opID)
 	})
 }
 
@@ -163,10 +179,12 @@ func (img *Image) EventWait(e *Event) {
 	img.ct.Flush()
 	img.st.kern.FlushCoalesced()
 	start := img.Now()
+	btok := img.beginBlock("event_wait")
 	es := img.m.eventState(e)
 	det := img.m.det
 	es.waiters = append(es.waiters, img.proc)
 	img.proc.WaitUntil("event wait", func() bool { return es.count > 0 || det.AnyDead() })
+	img.endBlock(btok)
 	img.traceSpan("event_wait", "sync", start)
 	for i, w := range es.waiters {
 		if w == img.proc {

@@ -8,11 +8,14 @@
 // golden determinism suite can pin it.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -profile prof.json && go run ./cmd/cafprof prof.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	caf "caf2go"
@@ -20,7 +23,19 @@ import (
 )
 
 func main() {
-	res, err := workloads.Quickstart(caf.Config{Images: 8, Seed: 42})
+	profile := flag.String("profile", "", "run with lifecycle tracing + metrics and write the cafprof profile JSON here")
+	flag.Parse()
+
+	cfg := caf.Config{Images: 8, Seed: 42}
+	var opts []workloads.RunOpt
+	var m *caf.Machine
+	if *profile != "" {
+		cfg.TraceCapacity = 1 << 16
+		cfg.Metrics = true
+		opts = append(opts, workloads.CaptureMachine(&m))
+	}
+
+	res, err := workloads.Quickstart(cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,4 +50,18 @@ func main() {
 	rep := res.Report
 	fmt.Printf("\nsimulated time: %v | messages: %d | spawns: %d | finish rounds: %d\n",
 		rep.VirtualTime, rep.Msgs, rep.SpawnsExecuted, rep.ReduceRounds)
+
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("profile written to %s (analyze with: go run ./cmd/cafprof %s)\n", *profile, *profile)
+	}
 }

@@ -27,15 +27,45 @@ type Result struct {
 	Check  string
 }
 
+// RunOpt configures how a workload drives its machine.
+type RunOpt func(*runOpts)
+
+type runOpts struct{ machine **caf.Machine }
+
+// CaptureMachine stores the workload's machine in *dst before launch, so
+// the caller can pull its trace, lifecycle profile, and metrics after the
+// run completes (the machine outlives RunToCompletion).
+func CaptureMachine(dst **caf.Machine) RunOpt {
+	return func(o *runOpts) { o.machine = dst }
+}
+
+// run is caf.Run plus RunOpt handling, shared by every workload.
+func run(cfg caf.Config, opts []RunOpt, main func(img *caf.Image)) (caf.Report, error) {
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	m := caf.NewMachine(cfg)
+	if o.machine != nil {
+		*o.machine = m
+	}
+	m.Launch(main)
+	rep, err := m.RunToCompletion()
+	if err != nil {
+		m.Shutdown()
+	}
+	return rep, err
+}
+
 // Quickstart is the smallest useful caf2go program: function shipping
 // under finish, an asynchronous scatter closed by a cofence, and an
 // allreduce (examples/quickstart).
-func Quickstart(cfg caf.Config) (Result, error) {
+func Quickstart(cfg caf.Config, opts ...RunOpt) (Result, error) {
 	images := cfg.Images
 	greetings := make([]string, images)
 	var sum int64
 
-	rep, err := caf.Run(cfg, func(img *caf.Image) {
+	rep, err := run(cfg, opts, func(img *caf.Image) {
 		me := img.Rank()
 
 		// Function shipping under finish: every image ships work to its
@@ -88,11 +118,11 @@ func Quickstart(cfg caf.Config) (Result, error) {
 // (examples/stencil). overlap selects the cofence-overlapped variant;
 // !overlap the event-blocking baseline. The checksum is invariant across
 // the two variants.
-func Stencil(cfg caf.Config, block, iters int, overlap bool) (Result, error) {
+func Stencil(cfg caf.Config, block, iters int, overlap bool, opts ...RunOpt) (Result, error) {
 	images := cfg.Images
 	var checksum float64
 
-	rep, err := caf.Run(cfg, func(img *caf.Image) {
+	rep, err := run(cfg, opts, func(img *caf.Image) {
 		me := img.Rank()
 		left := (me + images - 1) % images
 		right := (me + 1) % images
@@ -173,13 +203,13 @@ type wsPool struct {
 // worksteal, Figs. 2-3): tasks seeded on image 0 only, idle images steal
 // either with five one-sided round trips (shipping=false) or two shipped
 // functions (shipping=true).
-func Worksteal(cfg caf.Config, tasks, stealSize int, shipping bool) (Result, error) {
+func Worksteal(cfg caf.Config, tasks, stealSize int, shipping bool, opts ...RunOpt) (Result, error) {
 	images := cfg.Images
 	taskCost := 200 * caf.Microsecond
 	pools := make([]*wsPool, images)
 	totalDone := 0
 
-	rep, err := caf.Run(cfg, func(img *caf.Image) {
+	rep, err := run(cfg, opts, func(img *caf.Image) {
 		me := img.Rank()
 		meta := caf.NewCoarray[int64](img, nil, 1) // remote-readable queue length
 		queue := caf.NewCoarray[int64](img, nil, tasks)
@@ -272,11 +302,11 @@ func Worksteal(cfg caf.Config, tasks, stealSize int, shipping bool) (Result, err
 // Pipeline runs the third-party predicated-copy chain (examples/
 // pipeline): image 0 orchestrates hop-by-hop copies across images
 // 1..N-1, each predicated on the previous hop's destination event.
-func Pipeline(cfg caf.Config, words int) (Result, error) {
+func Pipeline(cfg caf.Config, words int, opts ...RunOpt) (Result, error) {
 	images := cfg.Images
 	var pathSum int64
 
-	rep, err := caf.Run(cfg, func(img *caf.Image) {
+	rep, err := run(cfg, opts, func(img *caf.Image) {
 		me := img.Rank()
 		ca := caf.NewCoarray[int64](img, nil, words)
 		if me == 1 {
@@ -343,14 +373,14 @@ func terminationChain(img *caf.Image, images, depth int, completed *int64, taskW
 // TerminationFinish runs the dynamic task graph of examples/termination
 // under the finish detector; cfg.FinishNoWait selects the speculative
 // variant without the wait-until bound.
-func TerminationFinish(cfg caf.Config, seedTasks, maxDepth int) (Result, error) {
+func TerminationFinish(cfg caf.Config, seedTasks, maxDepth int, opts ...RunOpt) (Result, error) {
 	images := cfg.Images
 	taskWork := 300 * caf.Microsecond
 	var completed int64
 	var completedAtExit int64
 	var rounds int
 
-	rep, err := caf.Run(cfg, func(img *caf.Image) {
+	rep, err := run(cfg, opts, func(img *caf.Image) {
 		rounds = img.Finish(nil, func() {
 			for t := 0; t < seedTasks; t++ {
 				img.Spawn(img.Random().Intn(images), func(rm *caf.Image) {
@@ -384,11 +414,11 @@ func TerminationFinish(cfg caf.Config, seedTasks, maxDepth int) (Result, error) 
 // how much work still completed — while the Report pins the failure
 // counters (ImagesFailed, OpsAbortedByFailure, FinishLostActivities)
 // bit-for-bit in the golden suite.
-func CrashedFinish(cfg caf.Config, seedTasks, maxDepth int) (Result, error) {
+func CrashedFinish(cfg caf.Config, seedTasks, maxDepth int, opts ...RunOpt) (Result, error) {
 	images := cfg.Images
 	taskWork := 300 * caf.Microsecond
 	var completed int64
-	rep, err := caf.Run(cfg, func(img *caf.Image) {
+	rep, err := run(cfg, opts, func(img *caf.Image) {
 		img.Finish(nil, func() {
 			for t := 0; t < seedTasks; t++ {
 				img.Spawn(img.Random().Intn(images), func(rm *caf.Image) {
@@ -413,13 +443,13 @@ func CrashedFinish(cfg caf.Config, seedTasks, maxDepth int) (Result, error) {
 // TerminationBarrier runs the same task graph under the broken
 // event-wait + barrier scheme of Fig. 5; its Check records how much work
 // the detector missed.
-func TerminationBarrier(cfg caf.Config, seedTasks, maxDepth int) (Result, error) {
+func TerminationBarrier(cfg caf.Config, seedTasks, maxDepth int, opts ...RunOpt) (Result, error) {
 	images := cfg.Images
 	taskWork := 300 * caf.Microsecond
 	var completed int64
 	var completedAtExit int64
 
-	rep, err := caf.Run(cfg, func(img *caf.Image) {
+	rep, err := run(cfg, opts, func(img *caf.Image) {
 		var bchain func(r *caf.Image, depth int, spawn func(int, baseline.SpawnFn))
 		bchain = func(r *caf.Image, depth int, spawn func(int, baseline.SpawnFn)) {
 			r.Compute(taskWork)
@@ -452,7 +482,7 @@ func TerminationBarrier(cfg caf.Config, seedTasks, maxDepth int) (Result, error)
 
 // Transpose runs the distributed matrix transpose of examples/transpose:
 // strided one-sided copies under a finish block, fully verified.
-func Transpose(cfg caf.Config, n int) (Result, error) {
+func Transpose(cfg caf.Config, n int, opts ...RunOpt) (Result, error) {
 	images := cfg.Images
 	blk := n / images
 	if blk*images != n {
@@ -460,7 +490,7 @@ func Transpose(cfg caf.Config, n int) (Result, error) {
 	}
 	checked := 0
 
-	rep, err := caf.Run(cfg, func(img *caf.Image) {
+	rep, err := run(cfg, opts, func(img *caf.Image) {
 		me := img.Rank()
 		// a: my block of rows [me*blk, (me+1)*blk) of A.
 		a := caf.NewCoarray2D[int64](img, nil, blk, n)

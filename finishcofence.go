@@ -3,6 +3,7 @@ package caf
 import (
 	"caf2go/internal/core"
 	"caf2go/internal/failure"
+	"caf2go/internal/trace"
 )
 
 // Allow re-exports the cofence directional filter type.
@@ -49,6 +50,9 @@ func (img *Image) Finish(t *Team, body func()) int {
 		img.rc.ReleaseInto(&fs.members)
 	}
 	detect := img.Now()
+	// The detection phase is where the proc parks waiting on outstanding
+	// ops; the blocked-time profiler attributes it to them.
+	btok := img.beginBlock("finish")
 	rounds, ferr := img.m.plane.End(img.proc, img.st.kern, s)
 	if ferr != nil {
 		// The resilient protocol terminated the block over the survivor
@@ -56,8 +60,19 @@ func (img *Image) Finish(t *Team, body func()) int {
 		// image was itself declared dead). Fail-stop: unwind this
 		// image's context; the machine records the error and surfaces it
 		// from RunToCompletion and Machine.ImageErrors.
+		img.endBlock(btok)
 		img.traceSpan("finish", "sync", start)
 		panic(failure.Abort{Err: ferr})
+	}
+	img.endBlock(btok)
+	if life := img.m.life; life != nil {
+		life.AddFinish(trace.FinishRound{
+			Img:     img.Rank(),
+			Start:   detect,
+			End:     img.Now(),
+			Rounds:  rounds,
+			RoundAt: append([]Time(nil), s.RoundAt...),
+		})
 	}
 	if fs != nil {
 		// Acquire: the exit is ordered after every member's body and
@@ -95,7 +110,9 @@ func (img *Image) Cofence(down, up Allow) {
 	// A cofence is a synchronization point: buffered coalesced messages
 	// must hit the wire before we wait on their completion.
 	img.st.kern.FlushCoalesced()
+	btok := img.beginBlock("cofence")
 	img.ct.Cofence(img.proc, down, up)
+	img.endBlock(btok)
 	// Race-detector acquire: the fence ordered this context after the
 	// local data completion of every implicit op the DOWNWARD filter did
 	// not let pass. Ops that passed stay pending — acquiring a completed

@@ -34,7 +34,10 @@ type CoalesceOpts struct {
 	Fig12Iters int
 	// Coalescing is the configuration under test.
 	Coalescing caf.Coalescing
-	Seed       int64
+	// Metrics embeds each row's per-image metrics snapshot (fabric link
+	// counters, coalescing batch occupancy, finish rounds) in the JSON.
+	Metrics bool
+	Seed    int64
 }
 
 // DefaultCoalesce returns the committed-artifact configuration.
@@ -88,6 +91,8 @@ type CoalesceRow struct {
 	ImagesFailed         int   `json:",omitempty"`
 	OpsAbortedByFailure  int64 `json:",omitempty"`
 	FinishLostActivities int64 `json:",omitempty"`
+	// Metrics is the run's registry snapshot (CoalesceOpts.Metrics only).
+	Metrics *caf.MetricsSnapshot `json:",omitempty"`
 }
 
 // CoalesceReport is the BENCH_coalesce.json document.
@@ -118,6 +123,7 @@ func rowFromReport(workload string, images int, coalesced bool, rep caf.Report) 
 		ImagesFailed:         rep.ImagesFailed,
 		OpsAbortedByFailure:  rep.OpsAbortedByFailure,
 		FinishLostActivities: rep.FinishLostActivities,
+		Metrics:              rep.Metrics,
 	}
 }
 
@@ -144,7 +150,7 @@ func Coalesce(o CoalesceOpts) (CoalesceReport, error) {
 			cfg := ra.DefaultConfig(ra.FunctionShipping)
 			cfg.LocalTableBits = o.LocalTableBits
 			cfg.BunchSize = o.BunchSize
-			res, err := ra.Run(caf.Config{Images: p, Seed: o.Seed, Coalescing: coal}, cfg)
+			res, err := ra.Run(caf.Config{Images: p, Seed: o.Seed, Coalescing: coal, Metrics: o.Metrics}, cfg)
 			if err != nil {
 				return out, fmt.Errorf("coalesce ra p=%d coal=%v: %w", p, coal.Enabled(), err)
 			}
@@ -164,7 +170,7 @@ func Coalesce(o CoalesceOpts) (CoalesceReport, error) {
 	for _, p := range o.Fig12Cores {
 		var rows [2]CoalesceRow
 		for i, coal := range []caf.Coalescing{{}, o.Coalescing} {
-			rep, err := fig12Run(f12, p, variantCofence, coal)
+			rep, err := fig12Run(f12, p, variantCofence, coal, o.Metrics)
 			if err != nil {
 				return out, fmt.Errorf("coalesce fig12 p=%d coal=%v: %w", p, coal.Enabled(), err)
 			}

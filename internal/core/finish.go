@@ -17,6 +17,7 @@ import (
 	"caf2go/internal/collect"
 	"caf2go/internal/fabric"
 	"caf2go/internal/failure"
+	"caf2go/internal/metrics"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
 	"caf2go/internal/team"
@@ -241,6 +242,13 @@ type Plane struct {
 
 	det     *failure.Detector // nil ⇒ legacy, non-resilient plane
 	charged map[int]bool      // dead ranks whose tallies were consumed
+
+	// Metrics instruments (nil — and every call a no-op — until
+	// SetMetrics installs a registry).
+	mFinishes *metrics.Counter
+	mRounds   *metrics.Counter
+	mPerBlock *metrics.Histogram
+	mRoundNs  *metrics.Histogram
 }
 
 // NewPlane builds the plane and installs it as k's message tracker.
@@ -268,6 +276,17 @@ func (pl *Plane) SetDetector(d *failure.Detector) {
 	if d != nil && pl.charged == nil {
 		pl.charged = make(map[int]bool)
 	}
+}
+
+// SetMetrics wires the plane's termination-detection accounting into a
+// registry: per-image finish/round totals, a rounds-per-block histogram
+// (the observational check of Theorem 1's ≤ L+1 bound), and per-round
+// virtual-time durations. nil is fine and records nothing.
+func (pl *Plane) SetMetrics(reg *metrics.Registry) {
+	pl.mFinishes = reg.Counter("caf_finish_blocks_total", "finish blocks completed")
+	pl.mRounds = reg.Counter("caf_finish_rounds_total", "termination-detection allreduce rounds")
+	pl.mPerBlock = reg.Histogram("caf_finish_rounds_per_block", "detection rounds per finish block (Theorem 1: ≤ L+1)")
+	pl.mRoundNs = reg.Histogram("caf_finish_round_ns", "virtual duration of each detection round")
 }
 
 // Stats returns a snapshot of plane counters.
@@ -328,6 +347,17 @@ func (pl *Plane) End(p *sim.Proc, img *rt.ImageKernel, s *State) (int, *failure.
 	}
 	s.done = true
 	pl.stats.Finishes++
+	rank := img.Rank()
+	pl.mFinishes.Add(rank, 1)
+	pl.mRounds.Add(rank, int64(s.rounds))
+	pl.mPerBlock.Observe(rank, int64(s.rounds))
+	if pl.mRoundNs != nil {
+		for i, at := range s.RoundAt {
+			if i > 0 {
+				pl.mRoundNs.ObserveTime(rank, at-s.RoundAt[i-1])
+			}
+		}
+	}
 	if pl.lastState == nil {
 		pl.lastState = make([]*State, pl.k.NumImages())
 	}

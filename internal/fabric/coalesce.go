@@ -175,6 +175,8 @@ func (ep *Endpoint) flushDst(dst int, reason FlushReason) {
 
 	f := ep.f
 	f.stats.Flushes++
+	f.mFlushes.Add(ep.rank, 1)
+	f.mBatchMsgs.Observe(ep.rank, int64(len(msgs)))
 	switch reason {
 	case FlushBySize:
 		f.stats.FlushBySize++

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"caf2go/internal/metrics"
 	"caf2go/internal/sim"
 )
 
@@ -83,6 +84,11 @@ type Config struct {
 	// FlushObserver, when non-nil, is notified of every coalescing flush
 	// (per-flush trace events). Ignored when Coalescing is off.
 	FlushObserver FlushObserver
+	// Metrics, when non-nil, receives per-link traffic counters, queue
+	// depth high-water marks, credit-stall time, and coalescing batch
+	// occupancy. nil (the default) records nothing and keeps the fabric
+	// bit-identical to a build without the registry.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the cost model used by the benchmark harness.
@@ -190,6 +196,15 @@ type Fabric struct {
 	// enabled, coal the defaulted thresholds.
 	coalescing bool
 	coal       Coalescing
+
+	// Metrics instruments, resolved once at construction (all nil — and
+	// every call a no-op — when cfg.Metrics is nil).
+	mLinkMsgs    *metrics.Counter
+	mLinkBytes   *metrics.Counter
+	mSendqPeak   *metrics.Gauge
+	mCreditStall *metrics.Counter
+	mBatchMsgs   *metrics.Histogram
+	mFlushes     *metrics.Counter
 }
 
 // New builds a fabric with n endpoints (image 0..n-1).
@@ -201,6 +216,13 @@ func New(eng *sim.Engine, n int, cfg Config) *Fabric {
 		cfg.AckLatency = cfg.Latency
 	}
 	f := &Fabric{eng: eng, cfg: cfg}
+	reg := cfg.Metrics
+	f.mLinkMsgs = reg.Counter("caf_fabric_msgs_total", "wire packets sent per (image, peer) link")
+	f.mLinkBytes = reg.Counter("caf_fabric_bytes_total", "payload bytes sent per (image, peer) link")
+	f.mSendqPeak = reg.Gauge("caf_fabric_sendq_peak", "credit-stalled send queue high-water mark")
+	f.mCreditStall = reg.Counter("caf_fabric_credit_stall_ns_total", "virtual time messages spent queued for injection credits")
+	f.mBatchMsgs = reg.Histogram("caf_fabric_batch_msgs", "messages per coalesced wire packet")
+	f.mFlushes = reg.Counter("caf_fabric_flushes_total", "coalescing buffer flushes")
 	if cfg.Coalescing.Enabled() {
 		f.coalescing = true
 		f.coal = cfg.Coalescing.withDefaults()
@@ -409,6 +431,7 @@ func (ep *Endpoint) post(m *Msg, opts SendOpts) {
 	}
 	if ep.f.cfg.Credits > 0 && ep.outstanding >= ep.f.cfg.Credits {
 		ep.sendq = append(ep.sendq, queuedSend{m: m, opts: opts, queuedAt: ep.f.eng.Now()})
+		ep.f.mSendqPeak.SetMax(ep.rank, int64(len(ep.sendq)))
 		return
 	}
 	if ep.f.reliable {
@@ -438,6 +461,8 @@ func (ep *Endpoint) inject(m *Msg, opts SendOpts) {
 	ep.Sent++
 	f.stats.MsgsSent++
 	f.stats.BytesSent += uint64(m.Bytes)
+	f.mLinkMsgs.AddLink(m.Src, m.Dst, 1)
+	f.mLinkBytes.AddLink(m.Src, m.Dst, int64(m.Bytes))
 
 	// Serialize injection on the sender NIC.
 	start := now
@@ -507,7 +532,9 @@ func (ep *Endpoint) drainQueue() {
 	for len(ep.sendq) > 0 && (f.cfg.Credits == 0 || ep.outstanding < f.cfg.Credits) {
 		q := ep.sendq[0]
 		ep.sendq = ep.sendq[1:]
-		f.stats.CreditStall += f.eng.Now() - q.queuedAt
+		stall := f.eng.Now() - q.queuedAt
+		f.stats.CreditStall += stall
+		f.mCreditStall.Add(ep.rank, int64(stall))
 		if f.cfg.StallPenalty > 0 {
 			ep.nic.free += f.cfg.StallPenalty
 		}
@@ -568,6 +595,8 @@ func (ep *Endpoint) transmit(tx *txState) {
 	ep.Sent++
 	f.stats.MsgsSent++
 	f.stats.BytesSent += uint64(m.Bytes)
+	f.mLinkMsgs.AddLink(m.Src, m.Dst, 1)
+	f.mLinkBytes.AddLink(m.Src, m.Dst, int64(m.Bytes))
 
 	// Serialize injection on the sender NIC (every attempt pays again).
 	start := eng.Now()

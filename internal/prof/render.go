@@ -1,0 +1,198 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"caf2go/internal/sim"
+)
+
+// RenderOpts configures the text report.
+type RenderOpts struct {
+	// TopBlockers caps the per-primitive releaser-op list (default 5).
+	TopBlockers int
+	// Metrics includes the raw metrics families at the end.
+	Metrics bool
+}
+
+// fmtDur renders a virtual duration compactly (ns/µs/ms/s).
+func fmtDur(d sim.Time) string {
+	switch {
+	case d < 10_000:
+		return fmt.Sprintf("%dns", d)
+	case d < 10_000_000:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	case d < 10_000_000_000:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(d)/1e9)
+	}
+}
+
+// sparkline renders bucket counts as a unicode bar chart.
+func sparkline(buckets []Bucket) string {
+	if len(buckets) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	max := 0
+	for _, b := range buckets {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		i := (b.Count*len(bars) - 1) / max
+		if i >= len(bars) {
+			i = len(bars) - 1
+		}
+		sb.WriteRune(bars[i])
+	}
+	return sb.String()
+}
+
+// Render writes the human-readable profile report.
+func Render(w io.Writer, p *Profile, o RenderOpts) {
+	if o.TopBlockers == 0 {
+		o.TopBlockers = 5
+	}
+	fmt.Fprintf(w, "profile: %d images, %s virtual time, %d ops, %d blocks, %d finish epochs\n",
+		p.Images, fmtDur(p.Duration), len(p.Ops), len(p.Blocks), len(p.Finishes))
+	if len(p.Dropped) > 0 {
+		cats := make([]string, 0, len(p.Dropped))
+		for c := range p.Dropped {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		parts := make([]string, len(cats))
+		for i, c := range cats {
+			parts[i] = fmt.Sprintf("%s=%d", c, p.Dropped[c])
+		}
+		fmt.Fprintf(w, "WARNING: capture truncated, analyses are partial (dropped: %s)\n",
+			strings.Join(parts, " "))
+	}
+
+	renderStages(w, p)
+	renderBlockers(w, p, o.TopBlockers)
+	renderUtilization(w, p)
+	renderFinish(w, p)
+	if o.Metrics && p.Metrics != nil {
+		renderMetrics(w, p)
+	}
+}
+
+// renderStages prints the per-(kind, stage) latency table — the four
+// Fig. 1 completion levels, each measured from the previous.
+func renderStages(w io.Writer, p *Profile) {
+	lats := StageLatencies(p)
+	if len(lats) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== completion-stage latencies (per stage, from previous level) ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "kind\tstage\tcount\tunreached\tmin\tmean\tmax\tdist (2^i ns)\n")
+	for _, sl := range lats {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\n",
+			sl.Kind, sl.Stage, sl.Count, sl.Unreached,
+			fmtDur(sl.Min), fmtDur(sl.Mean()), fmtDur(sl.Max), sparkline(sl.Buckets))
+	}
+	tw.Flush()
+}
+
+// renderBlockers prints the blocked-time table with top releaser ops.
+func renderBlockers(w io.Writer, p *Profile, topN int) {
+	rows := Blockers(p, topN)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== blocked time by primitive (attribution %.1f%%) ==\n",
+		100*AttributionRatio(p))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "primitive\tparks\ttotal\tattributed\ttop blockers (op share)\n")
+	for _, r := range rows {
+		tops := make([]string, len(r.Top))
+		for i, bo := range r.Top {
+			peer := ""
+			if bo.Peer >= 0 {
+				peer = fmt.Sprintf("→%d", bo.Peer)
+			}
+			tops[i] = fmt.Sprintf("#%d %s%s %s", bo.Op, bo.Kind, peer, fmtDur(bo.Share))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n",
+			r.Prim, r.Count, fmtDur(r.Total), fmtDur(r.Attributed),
+			strings.Join(tops, ", "))
+	}
+	tw.Flush()
+}
+
+// renderUtilization prints the per-image blocked/busy timeline.
+func renderUtilization(w io.Writer, p *Profile) {
+	rows := Utilization(p)
+	if len(rows) == 0 || p.Duration == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== per-image utilization (main strand) ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "image\tbusy\tblocked\tbusy%%\tby primitive\n")
+	for _, u := range rows {
+		prims := make([]string, 0, len(u.ByPrim))
+		for _, pt := range u.ByPrim {
+			prims = append(prims, fmt.Sprintf("%s %s", pt.Prim, fmtDur(pt.Dur)))
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.1f%%\t%s\n",
+			u.Image, fmtDur(u.Busy), fmtDur(u.MainBlocked),
+			100*float64(u.Busy)/float64(p.Duration), strings.Join(prims, ", "))
+	}
+	tw.Flush()
+}
+
+// renderFinish prints the finish-epoch round counts (Theorem 1 check).
+func renderFinish(w io.Writer, p *Profile) {
+	s := FinishRounds(p)
+	if s.Epochs == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== finish termination detection (Theorem 1: rounds ≤ L+1) ==\n")
+	fmt.Fprintf(w, "epochs %d, max rounds %d, longest round %s\n",
+		s.Epochs, s.MaxRounds, fmtDur(s.MaxRoundDur))
+	for rounds, n := range s.RoundsHist {
+		if n > 0 {
+			fmt.Fprintf(w, "  %d round(s): %d epoch(s)\n", rounds, n)
+		}
+	}
+}
+
+// renderMetrics prints the metric families compactly.
+func renderMetrics(w io.Writer, p *Profile) {
+	fmt.Fprintf(w, "\n== metrics ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, fam := range p.Metrics.Families {
+		switch fam.Type {
+		case "histogram":
+			for _, hs := range fam.Hists {
+				fmt.Fprintf(tw, "%s\timg=%d", fam.Name, hs.Image)
+				if hs.Peer >= 0 {
+					fmt.Fprintf(tw, " peer=%d", hs.Peer)
+				}
+				mean := int64(0)
+				if hs.Count > 0 {
+					mean = hs.Sum / hs.Count
+				}
+				fmt.Fprintf(tw, "\tcount=%d sum=%d mean=%d\n", hs.Count, hs.Sum, mean)
+			}
+		default:
+			for _, s := range fam.Samples {
+				fmt.Fprintf(tw, "%s\timg=%d", fam.Name, s.Image)
+				if s.Peer >= 0 {
+					fmt.Fprintf(tw, " peer=%d", s.Peer)
+				}
+				fmt.Fprintf(tw, "\t%d\n", s.Value)
+			}
+		}
+	}
+	tw.Flush()
+}

@@ -2,6 +2,7 @@ package ra
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -157,7 +158,7 @@ func TestDeterministic(t *testing.T) {
 		return res
 	}
 	a, b := once(), once()
-	if a.Time != b.Time || a.Errors != b.Errors || a.Report != b.Report {
+	if a.Time != b.Time || a.Errors != b.Errors || !reflect.DeepEqual(a.Report, b.Report) {
 		t.Errorf("nondeterministic RA:\n%+v\n%+v", a, b)
 	}
 }

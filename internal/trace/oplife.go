@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"sort"
+
+	"caf2go/internal/sim"
+)
+
+// Stage is one of the paper's Fig. 1 completion levels. Every tracked
+// asynchronous operation passes through them in order: initiation (the
+// call returned, operands may still be live), local data (source/dest
+// buffers reusable), local operation (locally complete), and global
+// completion (complete everywhere, including the remote side).
+type Stage uint8
+
+const (
+	StageInit Stage = iota
+	StageLocalData
+	StageLocalOp
+	StageGlobal
+	NumStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageInit:
+		return "initiation"
+	case StageLocalData:
+		return "local-data"
+	case StageLocalOp:
+		return "local-op"
+	case StageGlobal:
+		return "global"
+	}
+	return "unknown"
+}
+
+// OpRecord is the lifecycle of one asynchronous operation: when each
+// completion level was reached, in virtual time. A stage time of -1
+// means the stage was never reached (e.g. an op abandoned by a failure
+// never completes globally... except abandonment itself stamps the
+// final stages, so -1 in practice means the run ended first).
+type OpRecord struct {
+	ID   int64
+	Kind string // "copy", "get", "put", "spawn", "notify", "coll:<name>", ...
+	Img  int    // initiating image
+	Peer int    // target image, or -1 when not peer-directed
+	// Created is when the op object came into being; T[StageInit] may be
+	// later (e.g. relaxed-mode deferral delays initiation).
+	Created sim.Time
+	T       [NumStages]sim.Time
+}
+
+// transition is one (op, stage) stamp in global stamp order. The
+// append-only log is what lets a blocked interval name its releasers:
+// every transition after the block began is an op that made progress
+// while the proc was parked.
+type transition struct {
+	op    int64
+	stage Stage
+	at    sim.Time
+}
+
+// maxReleasers bounds the op IDs stored per block record; the full
+// distinct count is always kept in ReleaserCount.
+const maxReleasers = 8
+
+// BlockRecord is one parked interval of a proc: which primitive it
+// parked in, for how long, and which ops completed stages during the
+// park (the ops whose progress released it).
+type BlockRecord struct {
+	Img   int
+	Tid   int
+	Prim  string // "finish", "cofence", "event_wait", "lock", "collective", ...
+	Start sim.Time
+	Dur   sim.Time
+	// Releasers holds up to maxReleasers distinct op IDs that advanced
+	// past initiation during the park; ReleaserCount is the full count.
+	Releasers     []int64 `json:",omitempty"`
+	ReleaserCount int
+}
+
+// FinishRound records one finish block's termination-detection phase:
+// how many allreduce rounds the Fig. 7 loop took and when each round
+// completed — the observational check of Theorem 1's ≤ L+1 bound.
+type FinishRound struct {
+	Img     int
+	Start   sim.Time // detection began (body done, waiting on quiescence)
+	End     sim.Time
+	Rounds  int
+	RoundAt []sim.Time `json:",omitempty"`
+}
+
+// BlockToken marks an open parked interval; obtained from BeginBlock
+// and redeemed by EndBlock.
+type BlockToken struct {
+	img, tid int
+	prim     string
+	start    sim.Time
+	transIdx int
+	ok       bool
+}
+
+// Lifecycle tracks operation lifecycles and blocked intervals. A nil
+// *Lifecycle is fully inert: every method no-ops and OpNew returns 0,
+// the "untracked" op ID that all stamping methods ignore — call sites
+// need no enabled-checks and tracked/untracked runs stay bit-identical.
+type Lifecycle struct {
+	rec      *Recorder // flow-event sink (may be disabled)
+	capacity int
+	ops      []OpRecord
+	idx      map[int64]int // op ID -> ops index
+	nextID   int64
+	trans    []transition
+	blocks   []BlockRecord
+	finishes []FinishRound
+
+	opsDropped    int
+	transDropped  int
+	blocksDropped int
+}
+
+// NewLifecycle returns a tracker holding at most capacity op records
+// (and proportionally bounded transition/block logs).
+func NewLifecycle(rec *Recorder, capacity int) *Lifecycle {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Lifecycle{
+		rec:      rec,
+		capacity: capacity,
+		ops:      make([]OpRecord, 0, min(capacity, 1024)),
+		idx:      make(map[int64]int),
+	}
+}
+
+// Enabled reports whether the tracker records anything.
+func (l *Lifecycle) Enabled() bool { return l != nil }
+
+// OpNew registers a new operation and returns its ID (IDs start at 1;
+// 0 means untracked — returned when the tracker is nil or full).
+func (l *Lifecycle) OpNew(kind string, img, peer int, at sim.Time) int64 {
+	if l == nil {
+		return 0
+	}
+	if len(l.ops) >= l.capacity {
+		l.opsDropped++
+		return 0
+	}
+	l.nextID++
+	id := l.nextID
+	rec := OpRecord{ID: id, Kind: kind, Img: img, Peer: peer, Created: at}
+	for s := range rec.T {
+		rec.T[s] = -1
+	}
+	l.idx[id] = len(l.ops)
+	l.ops = append(l.ops, rec)
+	return id
+}
+
+// OpStage stamps a completion level on an op. Idempotent (first stamp
+// wins) and a no-op for id 0 or unknown IDs. img is the image the
+// transition is observed on (the remote image for global completion of
+// a one-sided op), used for the flow event's location.
+func (l *Lifecycle) OpStage(id int64, img int, stage Stage, at sim.Time) {
+	if l == nil || id == 0 || stage >= NumStages {
+		return
+	}
+	i, ok := l.idx[id]
+	if !ok {
+		return
+	}
+	op := &l.ops[i]
+	if op.T[stage] >= 0 {
+		return
+	}
+	op.T[stage] = at
+	if len(l.trans) < 4*l.capacity {
+		l.trans = append(l.trans, transition{op: id, stage: stage, at: at})
+	} else {
+		l.transDropped++
+	}
+	if l.rec.Enabled() {
+		var phase byte
+		switch stage {
+		case StageInit:
+			phase = 's'
+		case StageGlobal:
+			phase = 'f'
+		default:
+			phase = 't'
+		}
+		l.rec.Flow(img, 0, op.Kind, "oplife", at, id, phase)
+	}
+}
+
+// Op returns the record for an op ID (zero record when unknown).
+func (l *Lifecycle) Op(id int64) (OpRecord, bool) {
+	if l == nil {
+		return OpRecord{}, false
+	}
+	i, ok := l.idx[id]
+	if !ok {
+		return OpRecord{}, false
+	}
+	return l.ops[i], true
+}
+
+// BeginBlock opens a parked interval on (img, tid) in primitive prim.
+func (l *Lifecycle) BeginBlock(img, tid int, prim string, at sim.Time) BlockToken {
+	if l == nil {
+		return BlockToken{}
+	}
+	return BlockToken{img: img, tid: tid, prim: prim, start: at,
+		transIdx: len(l.trans), ok: true}
+}
+
+// EndBlock closes a parked interval, attributing it to the distinct ops
+// that completed stages (past initiation) while it was open. Intervals
+// of zero virtual duration are discarded — the proc never parked.
+func (l *Lifecycle) EndBlock(tok BlockToken, at sim.Time) {
+	if l == nil || !tok.ok {
+		return
+	}
+	dur := at - tok.start
+	if dur <= 0 {
+		return
+	}
+	if len(l.blocks) >= l.capacity {
+		l.blocksDropped++
+		return
+	}
+	br := BlockRecord{Img: tok.img, Tid: tok.tid, Prim: tok.prim,
+		Start: tok.start, Dur: dur}
+	seen := make(map[int64]bool)
+	for _, tr := range l.trans[tok.transIdx:] {
+		if tr.stage == StageInit || seen[tr.op] {
+			continue
+		}
+		seen[tr.op] = true
+		if len(br.Releasers) < maxReleasers {
+			br.Releasers = append(br.Releasers, tr.op)
+		}
+	}
+	br.ReleaserCount = len(seen)
+	sort.Slice(br.Releasers, func(i, j int) bool { return br.Releasers[i] < br.Releasers[j] })
+	l.blocks = append(l.blocks, br)
+}
+
+// AddFinish records one finish block's detection rounds.
+func (l *Lifecycle) AddFinish(fr FinishRound) {
+	if l == nil || len(l.finishes) >= l.capacity {
+		return
+	}
+	l.finishes = append(l.finishes, fr)
+}
+
+// Ops returns all op records (do not modify).
+func (l *Lifecycle) Ops() []OpRecord {
+	if l == nil {
+		return nil
+	}
+	return l.ops
+}
+
+// Blocks returns all closed parked intervals (do not modify).
+func (l *Lifecycle) Blocks() []BlockRecord {
+	if l == nil {
+		return nil
+	}
+	return l.blocks
+}
+
+// FinishRounds returns all recorded finish detection phases.
+func (l *Lifecycle) FinishRounds() []FinishRound {
+	if l == nil {
+		return nil
+	}
+	return l.finishes
+}
+
+// Dropped returns per-log dropped-record counts (nil when none).
+func (l *Lifecycle) Dropped() map[string]int {
+	if l == nil {
+		return nil
+	}
+	out := map[string]int{}
+	if l.opsDropped > 0 {
+		out["lifecycle-ops"] = l.opsDropped
+	}
+	if l.transDropped > 0 {
+		out["lifecycle-transitions"] = l.transDropped
+	}
+	if l.blocksDropped > 0 {
+		out["lifecycle-blocks"] = l.blocksDropped
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

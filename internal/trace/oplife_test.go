@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilLifecycleIsInert(t *testing.T) {
+	var l *Lifecycle
+	if l.Enabled() {
+		t.Fatal("nil lifecycle enabled")
+	}
+	if id := l.OpNew("copy", 0, 1, 10); id != 0 {
+		t.Fatalf("OpNew on nil = %d", id)
+	}
+	l.OpStage(1, 0, StageGlobal, 20)
+	tok := l.BeginBlock(0, 0, "finish", 5)
+	l.EndBlock(tok, 50)
+	l.AddFinish(FinishRound{})
+	if l.Ops() != nil || l.Blocks() != nil || l.FinishRounds() != nil || l.Dropped() != nil {
+		t.Fatal("nil lifecycle returned data")
+	}
+}
+
+func TestOpLifecycleStages(t *testing.T) {
+	rec := NewRecorder(100)
+	l := NewLifecycle(rec, 100)
+	id := l.OpNew("copy", 0, 3, 10)
+	if id != 1 {
+		t.Fatalf("first op id = %d", id)
+	}
+	l.OpStage(id, 0, StageInit, 10)
+	l.OpStage(id, 0, StageLocalData, 15)
+	l.OpStage(id, 0, StageLocalData, 99) // idempotent: first wins
+	l.OpStage(id, 0, StageLocalOp, 20)
+	l.OpStage(id, 3, StageGlobal, 40)
+	op, ok := l.Op(id)
+	if !ok {
+		t.Fatal("op not found")
+	}
+	want := [NumStages]int64{10, 15, 20, 40}
+	for s := Stage(0); s < NumStages; s++ {
+		if int64(op.T[s]) != want[s] {
+			t.Errorf("stage %v = %d, want %d", s, op.T[s], want[s])
+		}
+	}
+	// Unknown and untracked IDs are ignored.
+	l.OpStage(0, 0, StageGlobal, 1)
+	l.OpStage(999, 0, StageGlobal, 1)
+
+	// The recorder got a flow: s, t, t, f with matching id.
+	var phases []byte
+	for _, e := range rec.Events() {
+		if e.Cat == "oplife" {
+			if e.FlowID != id {
+				t.Errorf("flow id = %d, want %d", e.FlowID, id)
+			}
+			phases = append(phases, e.FlowPhase)
+		}
+	}
+	if string(phases) != "sttf" {
+		t.Errorf("flow phases = %q, want sttf", phases)
+	}
+}
+
+func TestBlockAttribution(t *testing.T) {
+	l := NewLifecycle(nil, 100)
+	a := l.OpNew("copy", 0, 1, 0)
+	b := l.OpNew("spawn", 0, 2, 0)
+	l.OpStage(a, 0, StageInit, 1)
+	l.OpStage(b, 0, StageInit, 2)
+
+	tok := l.BeginBlock(0, 0, "finish", 10)
+	l.OpStage(a, 0, StageLocalOp, 12)
+	l.OpStage(a, 1, StageGlobal, 15) // same op twice: one releaser
+	l.OpStage(b, 2, StageGlobal, 18)
+	c := l.OpNew("put", 1, 0, 19)
+	l.OpStage(c, 1, StageInit, 19) // initiation is not a release
+	l.EndBlock(tok, 20)
+
+	blocks := l.Blocks()
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	br := blocks[0]
+	if br.Prim != "finish" || br.Start != 10 || br.Dur != 10 {
+		t.Errorf("block = %+v", br)
+	}
+	if br.ReleaserCount != 2 || len(br.Releasers) != 2 ||
+		br.Releasers[0] != a || br.Releasers[1] != b {
+		t.Errorf("releasers = %v (count %d), want [%d %d]", br.Releasers, br.ReleaserCount, a, b)
+	}
+
+	// Zero-duration blocks are discarded.
+	tok2 := l.BeginBlock(0, 0, "lock", 20)
+	l.EndBlock(tok2, 20)
+	if len(l.Blocks()) != 1 {
+		t.Error("zero-duration block recorded")
+	}
+}
+
+func TestLifecycleCapacityDrops(t *testing.T) {
+	l := NewLifecycle(nil, 2)
+	if l.OpNew("a", 0, -1, 0) == 0 || l.OpNew("b", 0, -1, 0) == 0 {
+		t.Fatal("ops under capacity dropped")
+	}
+	if id := l.OpNew("c", 0, -1, 0); id != 0 {
+		t.Fatalf("op over capacity got id %d", id)
+	}
+	d := l.Dropped()
+	if d["lifecycle-ops"] != 1 {
+		t.Errorf("dropped = %v", d)
+	}
+}
+
+func TestFlowEventsInChromeTrace(t *testing.T) {
+	rec := NewRecorder(10)
+	rec.Flow(0, 0, "copy", "oplife", 1000, 7, 's')
+	rec.Flow(3, 0, "copy", "oplife", 5000, 7, 'f')
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("events = %d", len(out))
+	}
+	s, f := out[0], out[1]
+	if s["ph"] != "s" || s["id"] != "7" || s["bp"] != nil {
+		t.Errorf("flow start = %v", s)
+	}
+	if f["ph"] != "f" || f["id"] != "7" || f["bp"] != "e" || f["pid"] != float64(3) {
+		t.Errorf("flow end = %v", f)
+	}
+	// Flow points do not pollute the activity summary.
+	if len(rec.Summary()) != 0 {
+		t.Errorf("summary contains flow points: %+v", rec.Summary())
+	}
+}

@@ -4,6 +4,11 @@
 // as an aggregate summary. The caf runtime emits into a Recorder when
 // tracing is enabled on the machine config; applications may add their
 // own spans through the same API.
+//
+// oplife.go adds the operation-lifecycle layer on top: per-operation
+// completion-stage records (the paper's Fig. 1 levels) linked across
+// images as Chrome flow events, and blocked-interval records attributing
+// parked virtual time to the operations that released it.
 package trace
 
 import (
@@ -24,19 +29,29 @@ type Event struct {
 	Start sim.Time
 	Dur   sim.Time // 0 for instants
 	Inst  bool
+
+	// Flow-event fields: FlowPhase is 's' (start), 't' (step), or 'f'
+	// (end), binding this point into the flow identified by FlowID —
+	// the rendered arrows that link an operation's initiation to its
+	// remote delivery and completion. Zero FlowPhase means not a flow
+	// event.
+	FlowID    int64
+	FlowPhase byte
 }
 
 // Recorder accumulates events up to a capacity. The zero value is a
 // disabled recorder: all methods are cheap no-ops.
 type Recorder struct {
-	events    []Event
-	capacity  int
-	truncated bool
-	enabled   bool
+	events   []Event
+	capacity int
+	// dropped counts events dropped at capacity, per event category —
+	// a truncated trace says which kinds of activity it is blind to.
+	dropped map[string]int
+	enabled bool
 }
 
 // NewRecorder returns a recorder holding at most capacity events
-// (further events are dropped and Truncated reports true).
+// (further events are dropped and counted per category in Dropped).
 func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = 1 << 20
@@ -55,15 +70,43 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Truncated reports whether events were dropped at capacity.
-func (r *Recorder) Truncated() bool { return r != nil && r.truncated }
+// Truncated reports whether any events were dropped at capacity.
+func (r *Recorder) Truncated() bool { return r.DroppedTotal() > 0 }
+
+// DroppedTotal returns the total number of events dropped at capacity.
+func (r *Recorder) DroppedTotal() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range r.dropped {
+		n += c
+	}
+	return n
+}
+
+// Dropped returns a copy of the per-category dropped-event counts
+// (nil when nothing was dropped).
+func (r *Recorder) Dropped() map[string]int {
+	if r == nil || len(r.dropped) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(r.dropped))
+	for k, v := range r.dropped {
+		out[k] = v
+	}
+	return out
+}
 
 func (r *Recorder) add(e Event) {
 	if !r.Enabled() {
 		return
 	}
 	if len(r.events) >= r.capacity {
-		r.truncated = true
+		if r.dropped == nil {
+			r.dropped = make(map[string]int)
+		}
+		r.dropped[e.Cat]++
 		return
 	}
 	r.events = append(r.events, e)
@@ -74,9 +117,18 @@ func (r *Recorder) Span(image, tid int, name, cat string, start, dur sim.Time) {
 	r.add(Event{Name: name, Cat: cat, Image: image, Tid: tid, Start: start, Dur: dur})
 }
 
-// Instant records a point event on an image.
-func (r *Recorder) Instant(image int, name, cat string, at sim.Time) {
-	r.add(Event{Name: name, Cat: cat, Image: image, Start: at, Inst: true})
+// Instant records a point event on an image strand.
+func (r *Recorder) Instant(image, tid int, name, cat string, at sim.Time) {
+	r.add(Event{Name: name, Cat: cat, Image: image, Tid: tid, Start: at, Inst: true})
+}
+
+// Flow records one point of a flow: phase 's' starts flow id on this
+// strand, 't' steps it (e.g. remote delivery), 'f' ends it. Perfetto
+// draws arrows through the phases, linking an async operation's
+// initiation to its completion across images.
+func (r *Recorder) Flow(image, tid int, name, cat string, at sim.Time, id int64, phase byte) {
+	r.add(Event{Name: name, Cat: cat, Image: image, Tid: tid, Start: at,
+		FlowID: id, FlowPhase: phase})
 }
 
 // Events returns the recorded events (do not modify).
@@ -96,7 +148,9 @@ type chromeEvent struct {
 	Dur  float64 `json:"dur,omitempty"`
 	Pid  int     `json:"pid"`
 	Tid  int     `json:"tid"`
-	S    string  `json:"s,omitempty"` // instant scope
+	S    string  `json:"s,omitempty"`  // instant scope
+	ID   string  `json:"id,omitempty"` // flow id
+	BP   string  `json:"bp,omitempty"` // flow binding point
 }
 
 // WriteChromeTrace writes the events as a Chrome trace JSON array.
@@ -110,10 +164,19 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Pid:  e.Image,
 			Tid:  e.Tid,
 		}
-		if e.Inst {
+		switch {
+		case e.FlowPhase != 0:
+			ce.Ph = string(rune(e.FlowPhase))
+			ce.ID = fmt.Sprintf("%d", e.FlowID)
+			if e.FlowPhase != 's' {
+				// Bind steps and ends to the enclosing slice (Perfetto
+				// renders the arrow into it) rather than the next one.
+				ce.BP = "e"
+			}
+		case e.Inst:
 			ce.Ph = "i"
 			ce.S = "p"
-		} else {
+		default:
 			ce.Ph = "X"
 			ce.Dur = float64(e.Dur) / 1e3
 		}
@@ -131,10 +194,14 @@ type SummaryRow struct {
 }
 
 // Summary aggregates events by name, sorted by total duration
-// descending (instants sort by count).
+// descending (instants sort by count). Flow points are bookkeeping for
+// the Chrome export, not activity, and are excluded.
 func (r *Recorder) Summary() []SummaryRow {
 	agg := make(map[string]*SummaryRow)
 	for _, e := range r.Events() {
+		if e.FlowPhase != 0 {
+			continue
+		}
 		row, ok := agg[e.Name]
 		if !ok {
 			row = &SummaryRow{Name: e.Name}
@@ -159,13 +226,23 @@ func (r *Recorder) Summary() []SummaryRow {
 	return out
 }
 
-// WriteSummary prints the aggregate table.
+// WriteSummary prints the aggregate table, with the per-category
+// dropped-event accounting when the capacity truncated the trace.
 func (r *Recorder) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "%-32s %10s %14s\n", "event", "count", "total vtime")
 	for _, row := range r.Summary() {
 		fmt.Fprintf(w, "%-32s %10d %14s\n", row.Name, row.Count, row.Total)
 	}
-	if r.Truncated() {
-		fmt.Fprintln(w, "(trace truncated at capacity)")
+	if d := r.Dropped(); d != nil {
+		cats := make([]string, 0, len(d))
+		for c := range d {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		fmt.Fprintf(w, "(trace truncated at capacity; dropped:")
+		for _, c := range cats {
+			fmt.Fprintf(w, " %s=%d", c, d[c])
+		}
+		fmt.Fprintln(w, ")")
 	}
 }

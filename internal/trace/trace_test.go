@@ -26,7 +26,7 @@ func TestRecordAndSummarize(t *testing.T) {
 	r.Span(0, 0, "finish", "sync", 10, 30)
 	r.Span(1, 0, "finish", "sync", 12, 50)
 	r.Span(0, 1, "cofence", "sync", 5, 5)
-	r.Instant(2, "spawn", "ship", 7)
+	r.Instant(2, 0, "spawn", "ship", 7)
 	if r.Len() != 4 {
 		t.Fatalf("len = %d", r.Len())
 	}
@@ -44,22 +44,27 @@ func TestRecordAndSummarize(t *testing.T) {
 func TestCapacityTruncation(t *testing.T) {
 	r := NewRecorder(2)
 	for i := 0; i < 5; i++ {
-		r.Instant(0, "e", "c", sim.Time(i))
+		r.Instant(0, 0, "e", "c", sim.Time(i))
 	}
+	r.Span(0, 0, "s", "other", 1, 1)
 	if r.Len() != 2 || !r.Truncated() {
 		t.Errorf("len=%d truncated=%v", r.Len(), r.Truncated())
 	}
+	if d := r.Dropped(); d["c"] != 3 || d["other"] != 1 || r.DroppedTotal() != 4 {
+		t.Errorf("dropped = %v (total %d), want c=3 other=1", d, r.DroppedTotal())
+	}
 	var sb strings.Builder
 	r.WriteSummary(&sb)
-	if !strings.Contains(sb.String(), "truncated") {
-		t.Error("summary does not mention truncation")
+	if !strings.Contains(sb.String(), "truncated") || !strings.Contains(sb.String(), "c=3") ||
+		!strings.Contains(sb.String(), "other=1") {
+		t.Errorf("summary lacks per-category drop counts:\n%s", sb.String())
 	}
 }
 
 func TestChromeTraceFormat(t *testing.T) {
 	r := NewRecorder(10)
 	r.Span(3, 7, "work", "app", 1500, 2500) // ns -> 1.5us start, 2.5us dur
-	r.Instant(2, "tick", "app", 4000)
+	r.Instant(2, 0, "tick", "app", 4000)
 	var buf bytes.Buffer
 	if err := r.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
@@ -86,8 +91,8 @@ func TestSummaryOrdering(t *testing.T) {
 	r := NewRecorder(10)
 	r.Span(0, 0, "small", "c", 0, 1)
 	r.Span(0, 0, "big", "c", 0, 100)
-	r.Instant(0, "many", "c", 0)
-	r.Instant(0, "many", "c", 1)
+	r.Instant(0, 0, "many", "c", 0)
+	r.Instant(0, 0, "many", "c", 1)
 	sum := r.Summary()
 	if sum[0].Name != "big" {
 		t.Errorf("order: %+v", sum)

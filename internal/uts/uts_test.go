@@ -2,6 +2,7 @@ package uts
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	caf "caf2go"
@@ -193,7 +194,7 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 	a, b := once(), once()
 	if a.TotalNodes != b.TotalNodes || a.Time != b.Time || a.Steals != b.Steals ||
-		a.Rounds != b.Rounds || a.Report != b.Report {
+		a.Rounds != b.Rounds || !reflect.DeepEqual(a.Report, b.Report) {
 		t.Errorf("nondeterministic UTS runs:\n%+v\n%+v", a, b)
 	}
 }

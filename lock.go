@@ -6,6 +6,7 @@ import (
 	"caf2go/internal/fabric"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
+	"caf2go/internal/trace"
 )
 
 // lockState is a simple remote lock hosted on one image. The PGAS
@@ -30,10 +31,19 @@ type unlockMsg struct {
 // until granted. Locking a lock on the local image still round-trips
 // through the loopback path for cost fidelity.
 func (img *Image) Lock(rank, id int) {
+	opID := img.opNew("lock", rank)
+	img.opStage(opID, trace.StageInit)
+	btok := img.beginBlock("lock")
 	img.st.kern.Call(img.proc, rank, tagLock, id, rt.SendOpts{
 		Class: fabric.AMShort,
 		Bytes: 16,
 	})
+	// The grant round-trip is the whole operation: stamping before
+	// endBlock lets the park self-attribute to this lock acquisition.
+	img.opStage(opID, trace.StageLocalData)
+	img.opStage(opID, trace.StageLocalOp)
+	img.opStage(opID, trace.StageGlobal)
+	img.endBlock(btok)
 	// Acquire: the grant orders this holder after every prior unlock.
 	// Reading the remote lock state directly is the shared-address-space
 	// simulation's shortcut; nothing can release between our grant and

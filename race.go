@@ -5,6 +5,7 @@ import (
 
 	"caf2go/internal/core"
 	"caf2go/internal/race"
+	"caf2go/internal/trace"
 )
 
 // Happens-before race detection: when Config.RaceDetector is set, every
@@ -206,20 +207,35 @@ func raceRecordCtx[T any](img *Image, s Sec[T], write bool, op string) {
 // collBracket installs a blocking collective's edges: a role-filtered
 // release before the operation, and a deferred role-filtered acquire
 // (call the returned func after the collective returns, when every
-// releaser has contributed).
-func (img *Image) collBracket(t *Team, rel, acq bool) func() {
+// releaser has contributed). It also brackets the call for the
+// observability layer: one lifecycle op (a blocking collective runs all
+// four stages inside the call) and one blocked interval, both inert
+// when tracing is off.
+func (img *Image) collBracket(name string, t *Team, rel, acq bool) func() {
+	opID := img.opNew("coll:"+name, -1)
+	img.opStage(opID, trace.StageInit)
+	btok := img.beginBlock("collective")
+	finish := func() {
+		img.opStage(opID, trace.StageLocalData)
+		img.opStage(opID, trace.StageLocalOp)
+		img.opStage(opID, trace.StageGlobal)
+		img.endBlock(btok)
+	}
 	rs := img.m.race
 	if rs == nil || img.rc == nil {
-		return func() {}
+		return finish
 	}
 	cs := rs.collInstance(img.Rank(), t)
 	if rel {
 		img.rc.ReleaseInto(&cs.clk)
 	}
 	if !acq {
-		return func() {}
+		return finish
 	}
-	return func() { img.rc.Acquire(cs.clk) }
+	return func() {
+		img.rc.Acquire(cs.clk)
+		finish()
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -7,6 +7,7 @@ import (
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
+	"caf2go/internal/trace"
 )
 
 // SpawnFn is the body of a shipped function. It executes on the target
@@ -53,6 +54,7 @@ type spawnMsg struct {
 	finishID int64
 	event    *Event
 	data     []byte
+	opID     int64      // lifecycle op id (0 = untracked)
 	rclk     race.Clock // spawner's clock at initiation (fork edge)
 }
 
@@ -89,6 +91,7 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 	// Fork edge: the child's clock starts from the spawner's at this
 	// program point (snapshotted before any relaxed-mode deferral).
 	msg := &spawnMsg{finishID: img.trackID(), event: o.event, data: nil, rclk: img.raceRelease()}
+	msg.opID = img.opNew("spawn", target)
 	implicit := o.event == nil
 
 	var track any
@@ -98,13 +101,16 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 	class := classForBytes(img.m, o.bytes)
 
 	send := func() {
-		// Argument evaluation: the payload is copied at initiation.
+		// Argument evaluation: the payload is copied at initiation —
+		// which is also the spawn's local data completion.
+		img.m.opStageAt(msg.opID, img.Rank(), trace.StageInit)
+		img.m.opStageAt(msg.opID, img.Rank(), trace.StageLocalData)
 		if o.data != nil {
 			msg.data = append([]byte(nil), o.data...)
 		}
 		msg.fn = fn
 		tok := st.newDelivToken(msg.rclk)
-		st.kern.Send(target, tagSpawn, msg, rt.SendOpts{
+		sendOpts := rt.SendOpts{
 			Track:       track,
 			Class:       class,
 			Bytes:       o.bytes,
@@ -113,7 +119,21 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 			// token: an EventNotify must not wait forever on a delivery
 			// the fabric has charged off.
 			OnAbandoned: tok.complete,
-		})
+		}
+		if msg.opID != 0 {
+			m, me := img.m, img.Rank()
+			sendOpts.OnDelivered = func() {
+				m.opStageAt(msg.opID, me, trace.StageLocalOp)
+				tok.complete()
+			}
+			sendOpts.OnAbandoned = func() {
+				// The shipped function will never run; close the record.
+				m.opStageAt(msg.opID, me, trace.StageLocalOp)
+				m.opStageAt(msg.opID, me, trace.StageGlobal)
+				tok.complete()
+			}
+		}
+		st.kern.Send(target, tagSpawn, msg, sendOpts)
 	}
 
 	if implicit {
@@ -136,8 +156,12 @@ func (m *Machine) handleSpawn(d *rt.Delivery) {
 		st.spawnsExecuted++
 		// Each shipped function carries its own cofence tracker: a
 		// cofence inside it observes only operations it launched
-		// (dynamic scoping, paper Fig. 10 / §III-B3).
-		img := &Image{m: m, st: st, proc: p, inheritedFinish: msg.finishID, ct: m.newTracker()}
+		// (dynamic scoping, paper Fig. 10 / §III-B3). It also gets its
+		// own trace strand id, so handler spans render on their own
+		// Perfetto track instead of interleaving with the main's.
+		st.nextTid++
+		img := &Image{m: m, st: st, proc: p, tid: st.nextTid,
+			inheritedFinish: msg.finishID, ct: m.newTracker()}
 		if m.det != nil {
 			// A shipped function aborted by a failure declaration still
 			// completes its delivery: the enclosing finish's received ==
@@ -168,6 +192,9 @@ func (m *Machine) handleSpawn(d *rt.Delivery) {
 		// Spawned context exit is a synchronization point for any
 		// initiations it deferred.
 		img.ct.Flush()
+		// The shipped function has finished executing on the target: the
+		// spawn is globally complete.
+		m.opStageAt(msg.opID, img.Rank(), trace.StageGlobal)
 		m.spawnJoin(img, msg.event, msg.finishID, d)
 	})
 }

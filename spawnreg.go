@@ -10,6 +10,7 @@ import (
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
+	"caf2go/internal/trace"
 )
 
 // RemoteFn is a registered shipped function: it receives an Image bound
@@ -46,6 +47,7 @@ type namedSpawnMsg struct {
 	blob     []byte // gob-encoded argument list
 	finishID int64
 	event    *Event
+	opID     int64      // lifecycle op id (0 = untracked)
 	rclk     race.Clock // spawner's clock at initiation (fork edge)
 }
 
@@ -109,6 +111,7 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 	img.traceInstant("spawn:"+name, "ship")
 
 	msg := &namedSpawnMsg{name: name, blob: blob, finishID: img.trackID(), event: o.event, rclk: img.raceRelease()}
+	msg.opID = img.opNew("spawn:"+name, target)
 	implicit := o.event == nil
 	var track any
 	if implicit {
@@ -116,8 +119,12 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 	}
 	bytes := len(blob) + 32 + len(name)
 	send := func() {
+		// Arguments are already encoded: initiation is also local data
+		// completion.
+		img.m.opStageAt(msg.opID, img.Rank(), trace.StageInit)
+		img.m.opStageAt(msg.opID, img.Rank(), trace.StageLocalData)
 		tok := st.newDelivToken(msg.rclk)
-		st.kern.Send(target, tagSpawnNamed, msg, rt.SendOpts{
+		sendOpts := rt.SendOpts{
 			Track:       track,
 			Class:       classForBytes(img.m, bytes),
 			Bytes:       bytes,
@@ -126,7 +133,20 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 			// gated on outstanding deliveries are not lost with the
 			// dead destination.
 			OnAbandoned: tok.complete,
-		})
+		}
+		if msg.opID != 0 {
+			m, me := img.m, img.Rank()
+			sendOpts.OnDelivered = func() {
+				m.opStageAt(msg.opID, me, trace.StageLocalOp)
+				tok.complete()
+			}
+			sendOpts.OnAbandoned = func() {
+				m.opStageAt(msg.opID, me, trace.StageLocalOp)
+				m.opStageAt(msg.opID, me, trace.StageGlobal)
+				tok.complete()
+			}
+		}
+		st.kern.Send(target, tagSpawnNamed, msg, sendOpts)
 	}
 	if implicit {
 		// Arguments are fully evaluated (encoded) already: local data
@@ -147,7 +167,9 @@ func (m *Machine) handleSpawnNamed(d *rt.Delivery) {
 	d.Detach()
 	st.kern.Go("spawn:"+msg.name, func(p *sim.Proc) {
 		st.spawnsExecuted++
-		img := &Image{m: m, st: st, proc: p, inheritedFinish: msg.finishID, ct: m.newTracker()}
+		st.nextTid++
+		img := &Image{m: m, st: st, proc: p, tid: st.nextTid,
+			inheritedFinish: msg.finishID, ct: m.newTracker()}
 		if m.det != nil {
 			// Same contract as handleSpawn: an aborted shipped function
 			// still completes its delivery for the finish counters.
@@ -175,6 +197,7 @@ func (m *Machine) handleSpawnNamed(d *rt.Delivery) {
 		fn(img, args)
 		img.traceSpan("spawn-exec:"+msg.name, "ship", execStart)
 		img.ct.Flush()
+		m.opStageAt(msg.opID, img.Rank(), trace.StageGlobal)
 		m.spawnJoin(img, msg.event, msg.finishID, d)
 	})
 }
