@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-json-quick fuzz-smoke profile-smoke chaos-crash ci figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench bench-json bench-json-quick fuzz-smoke profile-smoke continuation-smoke chaos-crash ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -40,6 +40,15 @@ profile-smoke:
 	$(GO) run ./examples/quickstart -profile /tmp/caf2go_profile_smoke.json
 	$(GO) run ./cmd/cafprof -metrics /tmp/caf2go_profile_smoke.json
 	rm -f /tmp/caf2go_profile_smoke.json
+
+# Continuation-API smoke: run the continuation-driven stencil and
+# pipeline against their blocking equivalents, assert identical results
+# with a strictly lower main-strand blocked-time share, and push the
+# continuation stencil's traced profile through the cafprof CLI.
+continuation-smoke:
+	$(GO) run ./cmd/contsmoke -profile /tmp/caf2go_continuation_smoke.json
+	$(GO) run ./cmd/cafprof /tmp/caf2go_continuation_smoke.json
+	rm -f /tmp/caf2go_continuation_smoke.json
 
 # Short fuzz pass over the conflict-range intersection kernel.
 fuzz-smoke:

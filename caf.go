@@ -660,21 +660,24 @@ func (img *Image) traceInstant(name, cat string) {
 	}
 }
 
-// opNew registers a lifecycle-tracked async op initiated by this image
-// (0 when tracing is off — all stamping helpers ignore id 0).
-func (img *Image) opNew(kind string, peer int) int64 {
-	return img.m.life.OpNew(kind, img.Rank(), peer, img.Now())
+// opNew creates the completion handle for an async op initiated by this
+// image, registering it with the lifecycle tracker when tracing is on
+// (the handle's continuation machinery works either way).
+func (img *Image) opNew(kind string, peer int) *Op {
+	return &Op{m: img.m, kind: kind, img: img.Rank(),
+		id: img.m.life.OpNew(kind, img.Rank(), peer, img.Now())}
 }
 
-// opStage stamps a completion level on an op as observed on this image.
-func (img *Image) opStage(id int64, stage trace.Stage) {
-	img.m.life.OpStage(id, img.Rank(), stage, img.Now())
+// opStage advances an op's completion level as observed on this image:
+// the lifecycle stamp and the op's continuations fire together.
+func (img *Image) opStage(o *Op, stage trace.Stage) {
+	img.m.opAdvance(o, img.Rank(), stage)
 }
 
-// opStageAt stamps a completion level as observed on image rank at the
-// current engine time (for handler-side stamping without an Image).
-func (m *Machine) opStageAt(id int64, rank int, stage trace.Stage) {
-	m.life.OpStage(id, rank, stage, m.eng.Now())
+// opStageAt advances a completion level as observed on image rank at the
+// current engine time (for handler-side transitions without an Image).
+func (m *Machine) opStageAt(o *Op, rank int, stage trace.Stage) {
+	m.opAdvance(o, rank, stage)
 }
 
 // beginBlock opens a parked-interval record on this strand; redeem with

@@ -1,0 +1,133 @@
+// Command contsmoke is the continuation-API smoke check wired into CI:
+// it runs each continuation-driven workload next to its blocking
+// equivalent, verifies the numeric results are identical, and asserts
+// the continuation variant spends a strictly smaller share of its main
+// strands' virtual time parked. Any regression exits non-zero.
+//
+// With -profile, the continuation stencil's traced profile is written as
+// cafprof-readable JSON so CI can render where the remaining blocked
+// time goes.
+//
+// Usage:
+//
+//	contsmoke [-profile out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	caf "caf2go"
+	"caf2go/examples/workloads"
+	"caf2go/internal/prof"
+	"caf2go/internal/sim"
+)
+
+// blockedShare computes Σ per-image main-strand parked time over the
+// run's aggregate virtual time, from a traced machine.
+func blockedShare(m *caf.Machine) (float64, error) {
+	p := m.Profile()
+	if len(p.Dropped) > 0 {
+		return 0, fmt.Errorf("trace capture truncated (%v): raise TraceCapacity", p.Dropped)
+	}
+	if p.Duration == 0 {
+		return 0, fmt.Errorf("empty profile")
+	}
+	var blocked sim.Time
+	for _, u := range prof.Utilization(p) {
+		blocked += u.MainBlocked
+	}
+	return float64(blocked) / float64(sim.Time(p.Images)*p.Duration), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("contsmoke: ")
+	profilePath := flag.String("profile", "", "write the continuation stencil's profile JSON here")
+	flag.Parse()
+
+	trace := func(cfg caf.Config) caf.Config {
+		cfg.TraceCapacity = 1 << 16
+		return cfg
+	}
+	type variant struct {
+		name string
+		run  func(m **caf.Machine) (workloads.Result, error)
+	}
+	pairs := []struct {
+		name                string
+		blocking, continued variant
+	}{
+		{
+			name: "stencil",
+			blocking: variant{"event-wait stencil", func(m **caf.Machine) (workloads.Result, error) {
+				return workloads.Stencil(trace(caf.Config{Images: 8, Seed: 7}), 32, 5, false, workloads.CaptureMachine(m))
+			}},
+			continued: variant{"continuation stencil", func(m **caf.Machine) (workloads.Result, error) {
+				return workloads.StencilContinuation(trace(caf.Config{Images: 8, Seed: 7}), 32, 5, workloads.CaptureMachine(m))
+			}},
+		},
+		{
+			name: "pipeline",
+			blocking: variant{"stop-and-forward pipeline", func(m **caf.Machine) (workloads.Result, error) {
+				return workloads.PipelineHopBlocking(trace(caf.Config{Images: 6, Seed: 5}), 32, workloads.CaptureMachine(m))
+			}},
+			continued: variant{"continuation pipeline", func(m **caf.Machine) (workloads.Result, error) {
+				return workloads.PipelineContinuation(trace(caf.Config{Images: 6, Seed: 5}), 32, workloads.CaptureMachine(m))
+			}},
+		},
+	}
+
+	failed := false
+	for _, p := range pairs {
+		var mb, mc *caf.Machine
+		rb, err := p.blocking.run(&mb)
+		if err != nil {
+			log.Fatalf("%s: %v", p.blocking.name, err)
+		}
+		rc, err := p.continued.run(&mc)
+		if err != nil {
+			log.Fatalf("%s: %v", p.continued.name, err)
+		}
+		if rb.Check != rc.Check {
+			log.Printf("FAIL %s: results diverged: blocking %q, continuation %q", p.name, rb.Check, rc.Check)
+			failed = true
+			continue
+		}
+		sb, err := blockedShare(mb)
+		if err != nil {
+			log.Fatalf("%s: %v", p.blocking.name, err)
+		}
+		sc, err := blockedShare(mc)
+		if err != nil {
+			log.Fatalf("%s: %v", p.continued.name, err)
+		}
+		verdict := "ok"
+		if sc >= sb {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-4s %s: blocked share %.3f (%s) vs %.3f (%s), makespan %d vs %d, check %s\n",
+			verdict, p.name, sb, p.blocking.name, sc, p.continued.name,
+			rb.Report.VirtualTime, rc.Report.VirtualTime, rc.Check)
+
+		if p.name == "stencil" && *profilePath != "" {
+			f, err := os.Create(*profilePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := mc.WriteProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("     wrote continuation stencil profile to %s\n", *profilePath)
+		}
+	}
+	if failed {
+		log.Fatal("continuation variants regressed against their blocking baselines")
+	}
+}

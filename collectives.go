@@ -26,6 +26,7 @@ const (
 type Collective struct {
 	img *Image
 	h   *collect.Handle
+	op  *Op // completion handle (continuation registration)
 
 	// Race-detector state: the per-instance sync clock and whether this
 	// image's role acquires it (a broadcast receiver does, the root does
@@ -33,6 +34,15 @@ type Collective struct {
 	cs  *collSync
 	acq bool
 }
+
+// Op returns the collective's completion handle for continuation
+// registration: local data fires when this image's buffers are usable,
+// local and global completion together when all pair-wise communication
+// involving this image is done (Fig. 4). Continuations observing the
+// result should be registered via a PollSet (or call raceAcquire-free
+// Result() only after LocalDataDone) — direct callbacks run in engine
+// context and do not install the race detector's acquire edge.
+func (c *Collective) Op() *Op { return c.op }
 
 // CollOpt configures an asynchronous collective.
 type CollOpt func(*collOpts)
@@ -111,15 +121,19 @@ func (img *Image) wrap(h *collect.Handle, kind string, class core.OpClass, o col
 	// Lifecycle: a collective has no single peer; its local-op completion
 	// is also its global completion from this image's perspective (all
 	// pair-wise communication involving this image is done, Fig. 4).
-	if opID := img.opNew("coll:"+kind, -1); opID != 0 {
-		m, me := img.m, img.Rank()
-		img.opStage(opID, trace.StageInit)
-		h.OnLocalData(func() { m.opStageAt(opID, me, trace.StageLocalData) })
-		h.OnLocalOp(func() {
-			m.opStageAt(opID, me, trace.StageLocalOp)
-			m.opStageAt(opID, me, trace.StageGlobal)
-		})
-	}
+	oph := img.opNew("coll:"+kind, -1)
+	m, me := img.m, img.Rank()
+	img.opStage(oph, trace.StageInit)
+	h.OnLocalData(func() { m.opStageAt(oph, me, trace.StageLocalData) })
+	h.OnLocalOp(func() {
+		// Local-op completion implies the buffers are usable (Fig. 4), but
+		// the collective engine does not structurally guarantee its
+		// local-data hook ran first on every algorithm path; stamp
+		// defensively — idempotent, so normal runs are unchanged.
+		m.opStageAt(oph, me, trace.StageLocalData)
+		m.opStageAt(oph, me, trace.StageLocalOp)
+		m.opStageAt(oph, me, trace.StageGlobal)
+	})
 	var cs *collSync
 	var selfClk race.Clock
 	if rs := img.m.race; rs != nil && img.rc != nil {
@@ -148,7 +162,6 @@ func (img *Image) wrap(h *collect.Handle, kind string, class core.OpClass, o col
 			}
 		}
 	} else {
-		me := img.Rank()
 		if e := o.dataE; e != nil {
 			h.OnLocalData(func() { img.m.notifyFrom(me, e, collNotifyClk(cs, selfClk)) })
 		}
@@ -156,7 +169,7 @@ func (img *Image) wrap(h *collect.Handle, kind string, class core.OpClass, o col
 			h.OnLocalOp(func() { img.m.notifyFrom(me, e, collNotifyClk(cs, selfClk)) })
 		}
 	}
-	return &Collective{img: img, h: h, cs: cs, acq: acq}
+	return &Collective{img: img, h: h, op: oph, cs: cs, acq: acq}
 }
 
 // collNotifyClk builds the release clock a collective's completion event

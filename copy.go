@@ -39,7 +39,7 @@ type copyPutMsg struct {
 	write     func(data any)
 	onWritten func() // runs on the destination image after the write
 	destE     *Event
-	opID      int64 // lifecycle op id (0 = untracked)
+	op        *Op // completion handle (nil = untracked internal hop)
 
 	// Race-detector plumbing (nil/zero when off): wclk is the op's write
 	// clock at send; recordW registers the destination access under the
@@ -91,7 +91,11 @@ type resumeMsg struct {
 //     has landed (destination readable);
 //   - srcE / destE fire at source-read and destination-write wherever
 //     those happen.
-func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
+//
+// The returned Op is the copy's completion handle: register
+// continuations on its levels (or put it in a PollSet) instead of — or
+// alongside — event-based completion. Discarding it is always safe.
+func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) *Op {
 	var o copyOpts
 	for _, opt := range opts {
 		opt(&o)
@@ -117,7 +121,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 	} else if !srcLocal {
 		peer = src.rank
 	}
-	opID := img.opNew("copy", peer)
+	oph := img.opNew("copy", peer)
 
 	var track any
 	var tid int64
@@ -162,9 +166,9 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 		}
 	}
 
-	// Lifecycle local-data countdown, independent of the cofence signals
-	// above (those exist only for implicit ops): one tick per local
-	// buffer, stamped when the last becomes reusable/readable.
+	// Completion-handle local-data countdown, independent of the cofence
+	// signals above (those exist only for implicit ops): one tick per
+	// local buffer, advanced when the last becomes reusable/readable.
 	ldLeft := 0
 	if srcLocal {
 		ldLeft++
@@ -175,18 +179,16 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 	ldSignal := func() {
 		ldLeft--
 		if ldLeft == 0 {
-			img.m.opStageAt(opID, me, trace.StageLocalData)
+			img.m.opStageAt(oph, me, trace.StageLocalData)
 		}
 	}
 
 	var onWritten func()
-	if dstLocal && implicit {
-		onWritten = signal
-	}
-	if opID != 0 && dstLocal {
-		// Only installed when tracked, so untracked runs keep the
-		// original (possibly nil) callback bit-identically.
-		prev := onWritten
+	if dstLocal {
+		prev := signal
+		if !implicit {
+			prev = nil
+		}
 		onWritten = func() {
 			ldSignal()
 			if prev != nil {
@@ -230,7 +232,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 		}
 		start = func() {
 			forkOpClocks()
-			img.m.opStageAt(opID, me, trace.StageInit)
+			img.m.opStageAt(oph, me, trace.StageInit)
 			relSrc := claimSec(img.m, src, false, "copy_async read")
 			raceRecord(img.m, src, false, rid, rclk, "copy_async read")
 			data := src.read() // snapshot at initiation
@@ -245,7 +247,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 				},
 				onWritten: onWritten,
 				destE:     o.destE,
-				opID:      opID,
+				op:        oph,
 				wclk:      wclk,
 			}
 			if rs != nil && dst.ca != nil {
@@ -254,36 +256,30 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 					raceRecord(m, dst, true, wid, clk, "copy_async write")
 				}
 			}
+			m := img.m
 			sendOpts := rt.SendOpts{
-				Track:       track,
-				Class:       class,
-				Bytes:       bytes,
-				OnDelivered: tok.complete,
+				Track: track,
+				Class: class,
+				Bytes: bytes,
+				OnDelivered: func() {
+					m.opStageAt(oph, me, trace.StageLocalOp)
+					tok.complete()
+				},
 				// An abandoned put (dead destination) completes its
 				// token: the loss is charged to the enclosing finish,
-				// and notifies must not be gated on it forever.
-				OnAbandoned: tok.complete,
-			}
-			if opID != 0 {
-				m := img.m
-				sendOpts.OnDelivered = func() {
-					m.opStageAt(opID, me, trace.StageLocalOp)
+				// and notifies must not be gated on it forever. The op
+				// will never complete remotely; close out its record so
+				// blocked-time attribution still sees it.
+				OnAbandoned: func() {
+					m.opStageAt(oph, me, trace.StageLocalOp)
+					m.opStageAt(oph, me, trace.StageGlobal)
 					tok.complete()
-				}
-				sendOpts.OnAbandoned = func() {
-					// The op will never complete remotely; close out its
-					// record so blocked-time attribution still sees it.
-					m.opStageAt(opID, me, trace.StageLocalOp)
-					m.opStageAt(opID, me, trace.StageGlobal)
-					tok.complete()
-				}
+				},
 			}
 			srcE := o.srcE
 			sendOpts.OnInjected = func() {
 				// Source buffer reusable: data is on the wire.
-				if opID != 0 {
-					ldSignal()
-				}
+				ldSignal()
 				if implicit {
 					signal()
 				}
@@ -306,11 +302,11 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 		}
 		start = func() {
 			forkOpClocks()
-			img.m.opStageAt(opID, me, trace.StageInit)
+			img.m.opStageAt(oph, me, trace.StageInit)
 			if ldLeft == 0 {
 				// Third-party copy: no initiator-local buffers, so local
 				// data completes at initiation.
-				img.m.opStageAt(opID, me, trace.StageLocalData)
+				img.m.opStageAt(oph, me, trace.StageLocalData)
 			}
 			relSrc := claimSec(img.m, src, false, "copy_async read")
 			relDst := claimSec(img.m, dst, true, "copy_async write")
@@ -337,7 +333,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 					},
 					onWritten: onWritten,
 					destE:     o.destE,
-					opID:      opID,
+					op:        oph,
 					wclk:      wclk,
 				},
 			}
@@ -356,28 +352,24 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 					}
 				}
 			}
+			m := img.m
 			reqOpts := rt.SendOpts{
-				Track:       track,
-				Class:       fabric.AMShort,
-				Bytes:       32,
-				OnDelivered: tok.complete,
-				// A get request abandoned at a dead owner completes the
-				// token, like the put path above.
-				OnAbandoned: tok.complete,
-			}
-			if opID != 0 {
-				m := img.m
-				reqOpts.OnDelivered = func() {
+				Track: track,
+				Class: fabric.AMShort,
+				Bytes: 32,
+				OnDelivered: func() {
 					// Read request accepted at the source: nothing more is
 					// required of the initiator.
-					m.opStageAt(opID, me, trace.StageLocalOp)
+					m.opStageAt(oph, me, trace.StageLocalOp)
 					tok.complete()
-				}
-				reqOpts.OnAbandoned = func() {
-					m.opStageAt(opID, me, trace.StageLocalOp)
-					m.opStageAt(opID, me, trace.StageGlobal)
+				},
+				// A get request abandoned at a dead owner completes the
+				// token, like the put path above.
+				OnAbandoned: func() {
+					m.opStageAt(oph, me, trace.StageLocalOp)
+					m.opStageAt(oph, me, trace.StageGlobal)
 					tok.complete()
-				}
+				},
 			}
 			st.kern.Send(src.rank, tagCopyGetReq, msg, reqOpts)
 		}
@@ -401,6 +393,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) {
 	} else {
 		initiate()
 	}
+	return oph
 }
 
 // gatePredicate runs fn once e has a post available, routing through e's
@@ -441,7 +434,7 @@ func (m *Machine) handleCopyPut(d *rt.Delivery) {
 		msg.onWritten()
 	}
 	// Data applied at the destination: the copy is complete everywhere.
-	m.opStageAt(msg.opID, here, trace.StageGlobal)
+	m.opStageAt(msg.op, here, trace.StageGlobal)
 	if msg.destE != nil {
 		m.notifyFrom(here, msg.destE, eff)
 	}
@@ -472,7 +465,7 @@ func (m *Machine) handleEventNotify(d *rt.Delivery) {
 	msg := d.Payload.(*eventNotifyMsg)
 	m.eventRelease(msg.e, msg.clk)
 	// The post is visible on the owner: the notify is globally complete.
-	m.opStageAt(msg.opID, d.Img.Rank(), trace.StageGlobal)
+	m.opStageAt(msg.op, d.Img.Rank(), trace.StageGlobal)
 	m.post(msg.e)
 }
 
@@ -529,8 +522,8 @@ func Get[T any](img *Image, src Sec[T]) []T {
 	rel := claimSec(img.m, src, false, "get")
 	raceRecordCtx(img, src, false, "get")
 	bytes := src.Len()*src.elemBytes() + 16
-	opID := img.opNew("get", src.rank)
-	img.opStage(opID, trace.StageInit)
+	oph := img.opNew("get", src.rank)
+	img.opStage(oph, trace.StageInit)
 	tok := img.beginBlock("get")
 	reply := img.st.kern.Call(img.proc, src.rank, tagBlockingGet, &blockingGetMsg{
 		read: func() any {
@@ -542,9 +535,9 @@ func Get[T any](img *Image, src Sec[T]) []T {
 	}, rt.SendOpts{Class: fabric.AMShort, Bytes: 24})
 	// A blocking round trip collapses the completion levels at return;
 	// stamped before endBlock so the park is attributed to this op.
-	img.opStage(opID, trace.StageLocalData)
-	img.opStage(opID, trace.StageLocalOp)
-	img.opStage(opID, trace.StageGlobal)
+	img.opStage(oph, trace.StageLocalData)
+	img.opStage(oph, trace.StageLocalOp)
+	img.opStage(oph, trace.StageGlobal)
 	img.endBlock(tok)
 	return reply.([]T)
 }
@@ -564,8 +557,8 @@ func Put[T any](img *Image, dst Sec[T], vals []T) {
 	raceRecordCtx(img, dst, true, "put")
 	data := append([]T(nil), vals...)
 	bytes := len(vals)*dst.elemBytes() + 16
-	opID := img.opNew("put", dst.rank)
-	img.opStage(opID, trace.StageInit)
+	oph := img.opNew("put", dst.rank)
+	img.opStage(oph, trace.StageInit)
 	tok := img.beginBlock("put")
 	img.st.kern.Call(img.proc, dst.rank, tagBlockingPut, &blockingPutMsg{
 		write: func() {
@@ -573,9 +566,9 @@ func Put[T any](img *Image, dst Sec[T], vals []T) {
 			rel()
 		},
 	}, rt.SendOpts{Class: classForBytes(img.m, bytes), Bytes: bytes})
-	img.opStage(opID, trace.StageLocalData)
-	img.opStage(opID, trace.StageLocalOp)
-	img.opStage(opID, trace.StageGlobal)
+	img.opStage(oph, trace.StageLocalData)
+	img.opStage(oph, trace.StageLocalOp)
+	img.opStage(oph, trace.StageGlobal)
 	img.endBlock(tok)
 }
 

@@ -67,11 +67,22 @@ func (m *Machine) eventState(e *Event) *eventState {
 func (m *Machine) post(e *Event) {
 	es := m.eventState(e)
 	es.count++
-	if len(es.cbs) > 0 && es.count > 0 {
+	for es.count > 0 && len(es.cbs) > 0 {
 		cb := es.cbs[0]
+		// Nil the consumed slot before re-slicing: the shrinking slice
+		// keeps its backing array, and a retained closure there would
+		// hold its captures (continuations, clocks) alive across event
+		// reuse cycles — and look like a stale waiter to anyone dumping
+		// the state.
+		es.cbs[0] = nil
 		es.cbs = es.cbs[1:]
 		es.count--
 		cb()
+	}
+	if len(es.cbs) == 0 {
+		// Release the drained backing array so a long-lived, repeatedly
+		// reused event does not pin every closure ever registered on it.
+		es.cbs = nil
 	}
 	// A registered callback has priority over blocked waiters and may
 	// have consumed the post just delivered; unparking waiters then
@@ -99,29 +110,29 @@ func (m *Machine) whenPosted(e *Event, fn func()) {
 
 // eventNotifyMsg carries a notification and its release clock.
 type eventNotifyMsg struct {
-	e    *Event
-	clk  race.Clock
-	opID int64 // lifecycle op id of the notify (0 = untracked)
+	e   *Event
+	clk race.Clock
+	op  *Op // completion handle of the notify (nil = internal signal)
 }
 
 // notifyFrom delivers one post to e with the given release clock (nil
 // when the race detector is off), sending an active message when the
 // signal originates on a different image than the owner.
 func (m *Machine) notifyFrom(fromRank int, e *Event, clk race.Clock) {
-	m.notifyFromOp(fromRank, e, clk, 0)
+	m.notifyFromOp(fromRank, e, clk, nil)
 }
 
-// notifyFromOp is notifyFrom carrying a lifecycle op id: the notify op
+// notifyFromOp is notifyFrom carrying a completion handle: the notify op
 // completes globally when the post lands on the owner.
-func (m *Machine) notifyFromOp(fromRank int, e *Event, clk race.Clock, opID int64) {
+func (m *Machine) notifyFromOp(fromRank int, e *Event, clk race.Clock, op *Op) {
 	if e.owner == fromRank {
 		m.eventRelease(e, clk)
-		m.opStageAt(opID, fromRank, trace.StageGlobal)
+		m.opStageAt(op, fromRank, trace.StageGlobal)
 		m.post(e)
 		return
 	}
 	// Notifies release waiters parked on the owner: never coalesce them.
-	m.states[fromRank].kern.Send(e.owner, tagEventNotify, &eventNotifyMsg{e: e, clk: clk, opID: opID}, rt.SendOpts{
+	m.states[fromRank].kern.Send(e.owner, tagEventNotify, &eventNotifyMsg{e: e, clk: clk, op: op}, rt.SendOpts{
 		Class:      fabric.AMShort,
 		Bytes:      16,
 		NoCoalesce: true,
@@ -142,7 +153,11 @@ func (m *Machine) eventRelease(e *Event, clk race.Clock) {
 // initiated earlier has been delivered (so a waiter observes their
 // effects), but this call itself returns immediately — later operations
 // may proceed before the notify lands (§III-B4a).
-func (img *Image) EventNotify(e *Event) {
+//
+// The returned Op is the notify's completion handle: local levels fire
+// when the release precondition holds (prior updates delivered), global
+// completion when the post is visible on the owner.
+func (img *Image) EventNotify(e *Event) *Op {
 	st := img.st
 	// Release boundary: deferred initiations must actually start, and
 	// buffered coalesced messages must be on the wire before the notify —
@@ -150,8 +165,8 @@ func (img *Image) EventNotify(e *Event) {
 	img.ct.Flush()
 	img.st.kern.FlushCoalesced()
 	from := img.Rank()
-	opID := img.opNew("notify", e.owner)
-	img.opStage(opID, trace.StageInit)
+	oph := img.opNew("notify", e.owner)
+	img.opStage(oph, trace.StageInit)
 	// Release clock: the notifier's clock at the notify, joined below
 	// with the clocks of the outstanding remote updates the notify waits
 	// on — a waiter is ordered after those updates' writes too.
@@ -160,10 +175,11 @@ func (img *Image) EventNotify(e *Event) {
 	m.afterOutstandingDeliveries(st, func(dclk race.Clock) {
 		// The release precondition holds: every outstanding update has
 		// been delivered, nothing more is pending locally.
-		m.opStageAt(opID, from, trace.StageLocalData)
-		m.opStageAt(opID, from, trace.StageLocalOp)
-		m.notifyFromOp(from, e, race.Join(rel, dclk), opID)
+		m.opStageAt(oph, from, trace.StageLocalData)
+		m.opStageAt(oph, from, trace.StageLocalOp)
+		m.notifyFromOp(from, e, race.Join(rel, dclk), oph)
 	})
+	return oph
 }
 
 // EventWait blocks until a notification is available and consumes it

@@ -67,6 +67,15 @@ func goldenCases() []struct {
 		{"pipeline", func() (Result, error) {
 			return Pipeline(caf.Config{Images: 6, Seed: 5}, 32)
 		}},
+		{"stencil-continuation", func() (Result, error) {
+			return StencilContinuation(caf.Config{Images: 8, Seed: 7}, 32, 5)
+		}},
+		{"pipeline-hop-blocking", func() (Result, error) {
+			return PipelineHopBlocking(caf.Config{Images: 6, Seed: 5}, 32)
+		}},
+		{"pipeline-continuation", func() (Result, error) {
+			return PipelineContinuation(caf.Config{Images: 6, Seed: 5}, 32)
+		}},
 		{"termination-finish", func() (Result, error) {
 			return TerminationFinish(caf.Config{Images: 8, Seed: 7}, 2, 3)
 		}},

@@ -193,6 +193,178 @@ func Stencil(cfg caf.Config, block, iters int, overlap bool, opts ...RunOpt) (Re
 	return Result{Report: rep, Check: fmt.Sprintf("checksum=%.3f", checksum)}, nil
 }
 
+// StencilContinuation is the Stencil iteration driven by the
+// continuation API: the halo pushes' completion handles go into a
+// PollSet, the interior overlaps with the transfers, and the ghost-cell
+// dependency is retired by draining the set — same semantics as the
+// cofence-overlapped variant (wait for local data completion of both
+// pushes), expressed as callbacks instead of a fence park.
+func StencilContinuation(cfg caf.Config, block, iters int, opts ...RunOpt) (Result, error) {
+	images := cfg.Images
+	var checksum float64
+
+	rep, err := run(cfg, opts, func(img *caf.Image) {
+		me := img.Rank()
+		left := (me + images - 1) % images
+		right := (me + 1) % images
+
+		cur := caf.NewCoarray[float64](img, nil, block+2)
+		next := caf.NewCoarray[float64](img, nil, block+2)
+		c0 := cur.Local(img)
+		for i := 1; i <= block; i++ {
+			c0[i] = float64(me*block + i)
+		}
+		img.Barrier(nil)
+
+		interior := func(c, n []float64) {
+			for i := 2; i < block; i++ {
+				n[i] = 0.5*c[i] + 0.25*(c[i-1]+c[i+1])
+			}
+			img.Compute(caf.Time(block) * 40 * caf.Nanosecond)
+		}
+
+		ps := img.NewPollSet()
+		for it := 0; it < iters; it++ {
+			c := cur.Local(img)
+			n := next.Local(img)
+
+			// Push boundaries asynchronously, keeping the handles; the
+			// drain below is the continuation-shaped cofence.
+			h1 := caf.CopyAsync(img, cur.Sec(left, block+1, block+2), cur.Sec(me, 1, 2))
+			h2 := caf.CopyAsync(img, cur.Sec(right, 0, 1), cur.Sec(me, block, block+1))
+			ps.OnLocalData(h1, nil)
+			ps.OnLocalData(h2, nil)
+			interior(c, n)
+			ps.Drain()
+
+			img.Barrier(nil)
+
+			n[1] = 0.5*c[1] + 0.25*(c[0]+c[2])
+			n[block] = 0.5*c[block] + 0.25*(c[block-1]+c[block+1])
+
+			cur, next = next, cur
+		}
+
+		sumLocal := 0.0
+		for _, v := range cur.Local(img)[1 : block+1] {
+			sumLocal += v
+		}
+		total := img.Allreduce(nil, caf.Sum, []int64{int64(sumLocal * 1000)})
+		if me == 0 {
+			checksum = float64(total[0]) / 1000
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Report: rep, Check: fmt.Sprintf("checksum=%.3f", checksum)}, nil
+}
+
+// PipelineHopBlocking is the stop-and-forward baseline of the pipeline:
+// image 0 issues each hop, parks until its destination event fires, then
+// issues the next — the orchestrator's compute overlaps with nothing.
+// Its Check matches Pipeline and PipelineContinuation.
+func PipelineHopBlocking(cfg caf.Config, words int, opts ...RunOpt) (Result, error) {
+	images := cfg.Images
+	var pathSum int64
+
+	rep, err := run(cfg, opts, func(img *caf.Image) {
+		me := img.Rank()
+		ca := caf.NewCoarray[int64](img, nil, words)
+		if me == 1 {
+			loc := ca.Local(img)
+			for i := range loc {
+				loc[i] = int64(i + 1)
+			}
+		}
+		img.Barrier(nil)
+
+		if me != 0 {
+			return
+		}
+
+		ev := img.NewEvent()
+		for k := 2; k < images; k++ {
+			caf.CopyAsync(img, ca.At(k), ca.At(k-1), caf.DestEvent(ev))
+			img.EventWait(ev)
+		}
+		img.Compute(500 * caf.Microsecond)
+
+		final := caf.Get(img, ca.At(images-1))
+		for _, v := range final {
+			pathSum += v
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if want := int64(words * (words + 1) / 2); pathSum != want {
+		return Result{}, fmt.Errorf("pipeline-hop-blocking: checksum %d, want %d", pathSum, want)
+	}
+	return Result{Report: rep, Check: fmt.Sprintf("pathSum=%d", pathSum)}, nil
+}
+
+// PipelineContinuation drives the hop chain with Then continuations:
+// each hop's global completion initiates the next, image 0's compute
+// overlaps with the whole pipeline, and a PollSet drain stands in for
+// the final event wait. Continuations fire where completion is observed
+// (the destination image's delivery), so the chain advances without the
+// per-hop notify-the-orchestrator round trip the predicated Pipeline
+// variant models — the continuation both overlaps and shortens the
+// critical path.
+func PipelineContinuation(cfg caf.Config, words int, opts ...RunOpt) (Result, error) {
+	images := cfg.Images
+	var pathSum int64
+
+	rep, err := run(cfg, opts, func(img *caf.Image) {
+		me := img.Rank()
+		ca := caf.NewCoarray[int64](img, nil, words)
+		if me == 1 {
+			loc := ca.Local(img)
+			for i := range loc {
+				loc[i] = int64(i + 1)
+			}
+		}
+		img.Barrier(nil)
+
+		if me != 0 {
+			return
+		}
+
+		ps := img.NewPollSet()
+		var issue func(k int)
+		issue = func(k int) {
+			op := caf.CopyAsync(img, ca.At(k), ca.At(k-1))
+			// Membership first: Drain must cover every hop, and each hop
+			// is registered at issue time, so the set never runs dry
+			// before the chain reaches the last stage.
+			ps.Add(op)
+			if k+1 < images {
+				op.Then(func() { issue(k + 1) })
+			}
+		}
+		if images > 2 {
+			issue(2)
+		}
+
+		// Overlap: orchestrator computes while the pipeline flows.
+		img.Compute(500 * caf.Microsecond)
+		ps.Drain()
+
+		final := caf.Get(img, ca.At(images-1))
+		for _, v := range final {
+			pathSum += v
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if want := int64(words * (words + 1) / 2); pathSum != want {
+		return Result{}, fmt.Errorf("pipeline-continuation: checksum %d, want %d", pathSum, want)
+	}
+	return Result{Report: rep, Check: fmt.Sprintf("pathSum=%d", pathSum)}, nil
+}
+
 // wsPool is one image's task queue in the worksteal workload.
 type wsPool struct {
 	tasks []int64

@@ -135,6 +135,50 @@ func (img *Image) Cofence(down, up Allow) {
 	img.traceSpan("cofence", "sync", start)
 }
 
+// CofenceOp is the continuation form of Cofence: instead of parking
+// until every constrained implicit operation is local data complete, it
+// returns an Op whose levels all fire at that point (immediately, if
+// nothing is outstanding). Buffered relaxed-mode initiations that may
+// not defer past a fence allowing `down` are started, exactly as
+// Cofence(down, …) would.
+//
+// Unlike the blocking Cofence, CofenceOp is NOT a race-detector acquire
+// point: continuations run in engine context and the initiating context
+// keeps executing, so no happens-before edge is installed. Code that
+// needs the fence's ordering guarantee for subsequent local accesses
+// should still call Cofence (or drain a PollSet and let the explicit
+// synchronization that releases it do the ordering).
+func (img *Image) CofenceOp(down Allow) *Op {
+	img.traceInstant("cofence_op", "sync")
+	// Same synchronization-point obligation as the blocking fence: the
+	// completions being tracked may sit in coalescing buffers.
+	img.st.kern.FlushCoalesced()
+	oph := img.opNew("cofence", -1)
+	img.opStage(oph, trace.StageInit)
+	ops := img.ct.Constrained(down)
+	m, me := img.m, img.Rank()
+	left := len(ops)
+	fire := func() {
+		// A cofence is purely local: all three levels collapse.
+		m.opStageAt(oph, me, trace.StageLocalData)
+		m.opStageAt(oph, me, trace.StageLocalOp)
+		m.opStageAt(oph, me, trace.StageGlobal)
+	}
+	if left == 0 {
+		fire()
+		return oph
+	}
+	for _, p := range ops {
+		p.OnLocalData(func() {
+			left--
+			if left == 0 {
+				fire()
+			}
+		})
+	}
+	return oph
+}
+
 // PendingImplicitOps reports how many implicitly-synchronized operations
 // initiated by this image have not yet reached local data completion
 // (diagnostic).

@@ -78,6 +78,7 @@ type PendingOp struct {
 	class OpClass
 	done  bool
 	ct    *CofenceTracker
+	cbs   []func()
 }
 
 // Class returns the operation's local-data classification.
@@ -85,6 +86,20 @@ func (op *PendingOp) Class() OpClass { return op.class }
 
 // LocalDataDone reports whether the op reached local data completion.
 func (op *PendingOp) LocalDataDone() bool { return op.done }
+
+// OnLocalData registers fn to run at the op's local data completion,
+// immediately if it already completed. Callbacks run after fence waiters
+// have been unparked, in registration order, exactly once.
+func (op *PendingOp) OnLocalData(fn func()) {
+	if fn == nil {
+		return
+	}
+	if op.done {
+		fn()
+		return
+	}
+	op.cbs = append(op.cbs, fn)
+}
 
 // CompleteLocalData marks the operation locally data complete and wakes
 // any fence waiting on it. It is idempotent.
@@ -96,6 +111,12 @@ func (op *PendingOp) CompleteLocalData() {
 	op.ct.sweep()
 	for _, w := range op.ct.waiters {
 		w.Unpark()
+	}
+	cbs := op.cbs
+	op.cbs = nil
+	for i, fn := range cbs {
+		cbs[i] = nil // consumed callbacks must not be retained
+		fn()
 	}
 }
 
@@ -190,6 +211,22 @@ func (ct *CofenceTracker) flushDelayed(down Allow) {
 // Flush initiates every buffered op unconditionally (used by event
 // notify/wait, finish boundaries, and program exit).
 func (ct *CofenceTracker) Flush() { ct.flushDelayed(AllowNone) }
+
+// Constrained returns the registered ops a fence allowing `down` would
+// wait on: not yet local-data complete and not allowed to pass. Buffered
+// initiations that may not defer past such a fence are started first,
+// exactly as Cofence would — this is the non-parking face of the fence,
+// for callers that register completion callbacks instead of blocking.
+func (ct *CofenceTracker) Constrained(down Allow) []*PendingOp {
+	ct.flushDelayed(down)
+	var out []*PendingOp
+	for _, op := range ct.pending {
+		if !op.done && !passes(op.class, down) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
 
 // Cofence blocks process p until every registered implicitly-synchronized
 // operation not allowed to pass downward is local data complete. The up

@@ -191,6 +191,13 @@ type BlockerRow struct {
 	// Attributed is the parked time of intervals with at least one
 	// releaser op — time the profiler can pin on specific operations.
 	Attributed sim.Time
+	// Unattributed is the parked time of intervals that closed with no
+	// releaser op at all — e.g. a park released by a failure declaration
+	// because the op that would have released it died with an image and
+	// never advanced. It still appears in Top (as the pseudo-op
+	// "unattributed") so the table's shares sum to Total instead of
+	// silently dropping the interval.
+	Unattributed sim.Time
 	// Top lists releaser ops by descending share of the parked time.
 	Top []BlockerOp
 }
@@ -215,6 +222,19 @@ func Blockers(p *Profile, topN int) []BlockerRow {
 		r.Count++
 		r.Total += b.Dur
 		if len(b.Releasers) == 0 {
+			// Nothing advanced while the proc was parked (the releasing op
+			// died with an image, or the park was cut short by a failure
+			// declaration). Charge the interval to the pseudo-op 0 so it
+			// stays visible in the table rather than vanishing from the
+			// shares — and so the split below never divides by zero.
+			r.Unattributed += b.Dur
+			bo, ok := shares[b.Prim][0]
+			if !ok {
+				bo = &BlockerOp{Op: 0, Kind: "unattributed", Peer: -1}
+				shares[b.Prim][0] = bo
+			}
+			bo.Share += b.Dur
+			bo.Blocks++
 			continue
 		}
 		r.Attributed += b.Dur

@@ -112,19 +112,25 @@ func renderBlockers(w io.Writer, p *Profile, topN int) {
 	fmt.Fprintf(w, "\n== blocked time by primitive (attribution %.1f%%) ==\n",
 		100*AttributionRatio(p))
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "primitive\tparks\ttotal\tattributed\ttop blockers (op share)\n")
+	fmt.Fprintf(tw, "primitive\tparks\ttotal\tattributed\tunattributed\ttop blockers (op share)\n")
 	for _, r := range rows {
 		tops := make([]string, len(r.Top))
 		for i, bo := range r.Top {
+			if bo.Op == 0 {
+				// Pseudo-op for parks that closed with no releaser (the
+				// releasing op died with an image); no "#0" op id exists.
+				tops[i] = fmt.Sprintf("unattributed %s", fmtDur(bo.Share))
+				continue
+			}
 			peer := ""
 			if bo.Peer >= 0 {
 				peer = fmt.Sprintf("→%d", bo.Peer)
 			}
 			tops[i] = fmt.Sprintf("#%d %s%s %s", bo.Op, bo.Kind, peer, fmtDur(bo.Share))
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n",
 			r.Prim, r.Count, fmtDur(r.Total), fmtDur(r.Attributed),
-			strings.Join(tops, ", "))
+			fmtDur(r.Unattributed), strings.Join(tops, ", "))
 	}
 	tw.Flush()
 }

@@ -118,6 +118,7 @@ type Lifecycle struct {
 	opsDropped    int
 	transDropped  int
 	blocksDropped int
+	orderDropped  int
 }
 
 // NewLifecycle returns a tracker holding at most capacity op records
@@ -172,6 +173,15 @@ func (l *Lifecycle) OpStage(id int64, img int, stage Stage, at sim.Time) {
 	}
 	op := &l.ops[i]
 	if op.T[stage] >= 0 {
+		return
+	}
+	if stage == StageLocalData && op.T[StageGlobal] >= 0 {
+		// A local-data stamp arriving after the op's terminal stage (e.g.
+		// a coalescing buffer flushed after the record was closed) would
+		// put the transition log out of stage order. Drop and count it:
+		// downstream attribution walks the log in order and a late stamp
+		// would misattribute parks to an already-finished op.
+		l.orderDropped++
 		return
 	}
 	op.T[stage] = at
@@ -271,6 +281,28 @@ func (l *Lifecycle) Blocks() []BlockRecord {
 	return l.blocks
 }
 
+// StageOrderViolations counts per-op stage-ordering violations: stamps
+// the OpStage guard dropped (a local-data transition after the op's
+// terminal stage) plus ops whose first logged transition is not
+// StageInit. The stamping paths guarantee both invariants, so any
+// non-zero count is a runtime ordering bug — tests pin this at zero.
+func (l *Lifecycle) StageOrderViolations() int {
+	if l == nil {
+		return 0
+	}
+	n := l.orderDropped
+	seen := make(map[int64]bool, len(l.ops))
+	for _, tr := range l.trans {
+		if !seen[tr.op] {
+			seen[tr.op] = true
+			if tr.stage != StageInit {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // FinishRounds returns all recorded finish detection phases.
 func (l *Lifecycle) FinishRounds() []FinishRound {
 	if l == nil {
@@ -293,6 +325,9 @@ func (l *Lifecycle) Dropped() map[string]int {
 	}
 	if l.blocksDropped > 0 {
 		out["lifecycle-blocks"] = l.blocksDropped
+	}
+	if l.orderDropped > 0 {
+		out["lifecycle-order"] = l.orderDropped
 	}
 	if len(out) == 0 {
 		return nil

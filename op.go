@@ -1,0 +1,189 @@
+package caf
+
+import (
+	"caf2go/internal/trace"
+)
+
+// CompletionLevel names one of the callback-capable completion levels of
+// an asynchronous operation (paper Fig. 1). Initiation is not a callback
+// level: by the time an Op handle exists, initiation has either happened
+// or is scheduled unconditionally (relaxed mode may defer it to the next
+// synchronization point, but it cannot be cancelled).
+type CompletionLevel uint8
+
+const (
+	// LocalData: the initiator's local buffers are out of play — a source
+	// may be overwritten, a destination read (Fig. 4 row by row).
+	LocalData CompletionLevel = iota
+	// LocalCompletion: nothing further is required of the initiating
+	// image (the paper's local operation completion).
+	LocalCompletion
+	// GlobalCompletion: the operation is complete everywhere, including
+	// the remote side.
+	GlobalCompletion
+	numLevels
+)
+
+func (l CompletionLevel) String() string {
+	switch l {
+	case LocalData:
+		return "local-data"
+	case LocalCompletion:
+		return "local-completion"
+	case GlobalCompletion:
+		return "global-completion"
+	}
+	return "unknown"
+}
+
+// levelOf maps a lifecycle stage to its callback level (ok=false for
+// StageInit, which has no callback level).
+func levelOf(stage trace.Stage) (CompletionLevel, bool) {
+	switch stage {
+	case trace.StageLocalData:
+		return LocalData, true
+	case trace.StageLocalOp:
+		return LocalCompletion, true
+	case trace.StageGlobal:
+		return GlobalCompletion, true
+	}
+	return 0, false
+}
+
+// Op is the completion handle of one asynchronous operation. Every async
+// initiation — CopyAsync, Spawn, EventNotify, the Async collectives (via
+// Collective.Op), CofenceOp — returns one. Instead of parking in a
+// blocking primitive, user code registers continuations on the
+// operation's completion levels and keeps computing; the runtime fires
+// each continuation exactly once, inline at the engine point where the
+// level is first observed.
+//
+// Firing rules (see DESIGN §4.8):
+//
+//   - Deterministic order: continuations run at existing completion
+//     transitions of the deterministic simulation, in registration order
+//     within a level. Equal seeds fire equal schedules.
+//   - Levels are observed independently, where they happen: a put's
+//     global completion is observed at the destination and can fire
+//     before the initiator's local ack (LocalCompletion). Registering on
+//     a level that has already completed runs the callback immediately,
+//     inline with the registration.
+//   - Direct callbacks run in engine context (possibly inside a remote
+//     image's delivery handler). They must not block — no EventWait,
+//     Cofence, Finish, blocking Get/Put, or collective waits — but they
+//     may initiate further asynchronous operations, register more
+//     continuations, and notify events. Callbacks that need to block
+//     belong in a PollSet, whose handlers run on the polling proc.
+//
+// A nil *Op is inert: registrations on it panic, so a lost handle fails
+// loudly rather than silently never firing.
+type Op struct {
+	m    *Machine
+	kind string
+	img  int // initiating image's world rank
+
+	// id is the lifecycle tracker's op ID (0 when tracing is off); the
+	// continuation machinery is independent of it and fires either way.
+	id int64
+
+	done [numLevels]bool
+	cbs  [numLevels][]func()
+}
+
+// Kind returns the operation kind ("copy", "spawn", "notify",
+// "coll:<name>", "cofence", "then", ...).
+func (o *Op) Kind() string { return o.kind }
+
+// Initiator returns the world rank of the image that initiated the op.
+func (o *Op) Initiator() int { return o.img }
+
+// Done reports whether the given completion level has been observed.
+func (o *Op) Done(l CompletionLevel) bool {
+	return l < numLevels && o.done[l]
+}
+
+// on registers fn on level l, firing immediately if l already completed.
+func (o *Op) on(l CompletionLevel, fn func()) {
+	if fn == nil {
+		return
+	}
+	if o.done[l] {
+		fn()
+		return
+	}
+	o.cbs[l] = append(o.cbs[l], fn)
+}
+
+// OnLocalData registers fn to run at local data completion: the
+// initiator's buffers are reusable/readable. Returns o for chaining.
+func (o *Op) OnLocalData(fn func()) *Op {
+	o.on(LocalData, fn)
+	return o
+}
+
+// OnLocalCompletion registers fn to run at local operation completion:
+// nothing further is required of the initiating image. Returns o.
+func (o *Op) OnLocalCompletion(fn func()) *Op {
+	o.on(LocalCompletion, fn)
+	return o
+}
+
+// OnGlobalCompletion registers fn to run at global completion: the
+// operation is complete everywhere. Returns o.
+func (o *Op) OnGlobalCompletion(fn func()) *Op {
+	o.on(GlobalCompletion, fn)
+	return o
+}
+
+// Then chains fn after o's global completion and returns a derived Op
+// representing fn's own completion: all three of its levels fire, in
+// order, when fn returns. fn follows the direct-callback rules (engine
+// context, must not block) — it typically initiates the next operation
+// of a chain, whose handle it can feed into further continuations or a
+// PollSet. If o is already globally complete, fn runs inline now.
+func (o *Op) Then(fn func()) *Op {
+	m := o.m
+	d := &Op{m: m, kind: "then", img: o.img,
+		id: m.life.OpNew("then", o.img, -1, m.eng.Now())}
+	o.OnGlobalCompletion(func() {
+		m.life.OpStage(d.id, d.img, trace.StageInit, m.eng.Now())
+		fn()
+		m.opAdvance(d, d.img, trace.StageLocalData)
+		m.opAdvance(d, d.img, trace.StageLocalOp)
+		m.opAdvance(d, d.img, trace.StageGlobal)
+	})
+	return d
+}
+
+// reach marks the level mapped from stage complete and fires its
+// registered continuations in registration order. Idempotent per level;
+// levels are exact (reaching a higher level does not fire a lower one:
+// an abandoned put stamps its terminal stages without its buffers ever
+// becoming reusable).
+func (o *Op) reach(stage trace.Stage) {
+	l, ok := levelOf(stage)
+	if !ok || o.done[l] {
+		return
+	}
+	o.done[l] = true
+	cbs := o.cbs[l]
+	o.cbs[l] = nil
+	for i, fn := range cbs {
+		cbs[i] = nil // consumed continuations must not be retained
+		fn()
+	}
+}
+
+// opAdvance stamps a completion transition on the lifecycle tracker and
+// fires the op's continuations for that level — the single choke point
+// every completion path routes through, so lifecycle records and
+// continuation firing can never disagree about when a level was reached.
+// With no callbacks registered and tracing off it is pure bookkeeping:
+// legacy runs stay bit-identical.
+func (m *Machine) opAdvance(o *Op, rank int, stage trace.Stage) {
+	if o == nil {
+		return
+	}
+	m.life.OpStage(o.id, rank, stage, m.eng.Now())
+	o.reach(stage)
+}

@@ -54,7 +54,7 @@ type spawnMsg struct {
 	finishID int64
 	event    *Event
 	data     []byte
-	opID     int64      // lifecycle op id (0 = untracked)
+	op       *Op        // completion handle
 	rclk     race.Clock // spawner's clock at initiation (fork edge)
 }
 
@@ -76,7 +76,12 @@ func (img *Image) Payload() []byte {
 // its local data completion (argument evaluation). The shipped function
 // inherits the spawning context's innermost finish, so functions it
 // spawns transitively remain covered (§III-A).
-func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
+//
+// The returned Op is the spawn's completion handle: local data fires at
+// argument evaluation, local completion when the target accepted the
+// function, global completion when the shipped function has finished
+// executing there. Discarding it is always safe.
+func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) *Op {
 	o := spawnOpts{bytes: 32}
 	for _, opt := range opts {
 		opt(&o)
@@ -91,7 +96,7 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 	// Fork edge: the child's clock starts from the spawner's at this
 	// program point (snapshotted before any relaxed-mode deferral).
 	msg := &spawnMsg{finishID: img.trackID(), event: o.event, data: nil, rclk: img.raceRelease()}
-	msg.opID = img.opNew("spawn", target)
+	msg.op = img.opNew("spawn", target)
 	implicit := o.event == nil
 
 	var track any
@@ -103,35 +108,31 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 	send := func() {
 		// Argument evaluation: the payload is copied at initiation —
 		// which is also the spawn's local data completion.
-		img.m.opStageAt(msg.opID, img.Rank(), trace.StageInit)
-		img.m.opStageAt(msg.opID, img.Rank(), trace.StageLocalData)
+		img.m.opStageAt(msg.op, img.Rank(), trace.StageInit)
+		img.m.opStageAt(msg.op, img.Rank(), trace.StageLocalData)
 		if o.data != nil {
 			msg.data = append([]byte(nil), o.data...)
 		}
 		msg.fn = fn
 		tok := st.newDelivToken(msg.rclk)
+		m, me := img.m, img.Rank()
 		sendOpts := rt.SendOpts{
-			Track:       track,
-			Class:       class,
-			Bytes:       o.bytes,
-			OnDelivered: tok.complete,
+			Track: track,
+			Class: class,
+			Bytes: o.bytes,
+			OnDelivered: func() {
+				m.opStageAt(msg.op, me, trace.StageLocalOp)
+				tok.complete()
+			},
 			// A spawn abandoned at a dead image still completes its
 			// token: an EventNotify must not wait forever on a delivery
-			// the fabric has charged off.
-			OnAbandoned: tok.complete,
-		}
-		if msg.opID != 0 {
-			m, me := img.m, img.Rank()
-			sendOpts.OnDelivered = func() {
-				m.opStageAt(msg.opID, me, trace.StageLocalOp)
+			// the fabric has charged off. The shipped function will never
+			// run; close the record.
+			OnAbandoned: func() {
+				m.opStageAt(msg.op, me, trace.StageLocalOp)
+				m.opStageAt(msg.op, me, trace.StageGlobal)
 				tok.complete()
-			}
-			sendOpts.OnAbandoned = func() {
-				// The shipped function will never run; close the record.
-				m.opStageAt(msg.opID, me, trace.StageLocalOp)
-				m.opStageAt(msg.opID, me, trace.StageGlobal)
-				tok.complete()
-			}
+			},
 		}
 		st.kern.Send(target, tagSpawn, msg, sendOpts)
 	}
@@ -144,6 +145,7 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) {
 	} else {
 		send()
 	}
+	return msg.op
 }
 
 // handleSpawn executes a shipped function on the destination image.
@@ -194,7 +196,7 @@ func (m *Machine) handleSpawn(d *rt.Delivery) {
 		img.ct.Flush()
 		// The shipped function has finished executing on the target: the
 		// spawn is globally complete.
-		m.opStageAt(msg.opID, img.Rank(), trace.StageGlobal)
+		m.opStageAt(msg.op, img.Rank(), trace.StageGlobal)
 		m.spawnJoin(img, msg.event, msg.finishID, d)
 	})
 }

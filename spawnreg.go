@@ -47,7 +47,7 @@ type namedSpawnMsg struct {
 	blob     []byte // gob-encoded argument list
 	finishID int64
 	event    *Event
-	opID     int64      // lifecycle op id (0 = untracked)
+	op       *Op        // completion handle
 	rclk     race.Clock // spawner's clock at initiation (fork edge)
 }
 
@@ -90,8 +90,9 @@ func decodeArgs(blob []byte) ([]any, error) {
 // the call site, like a type error.
 //
 // Like Spawn, an eventless SpawnNamed completes implicitly under the
-// enclosing finish; WithEvent switches to explicit completion.
-func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnOpt) {
+// enclosing finish; WithEvent switches to explicit completion. The
+// returned Op is the spawn's completion handle (see Spawn).
+func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnOpt) *Op {
 	if img.m.registry == nil || img.m.registry.fns[name] == nil {
 		panic(fmt.Sprintf("caf: spawn of unregistered remote function %q", name))
 	}
@@ -111,7 +112,7 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 	img.traceInstant("spawn:"+name, "ship")
 
 	msg := &namedSpawnMsg{name: name, blob: blob, finishID: img.trackID(), event: o.event, rclk: img.raceRelease()}
-	msg.opID = img.opNew("spawn:"+name, target)
+	msg.op = img.opNew("spawn:"+name, target)
 	implicit := o.event == nil
 	var track any
 	if implicit {
@@ -121,30 +122,26 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 	send := func() {
 		// Arguments are already encoded: initiation is also local data
 		// completion.
-		img.m.opStageAt(msg.opID, img.Rank(), trace.StageInit)
-		img.m.opStageAt(msg.opID, img.Rank(), trace.StageLocalData)
+		img.m.opStageAt(msg.op, img.Rank(), trace.StageInit)
+		img.m.opStageAt(msg.op, img.Rank(), trace.StageLocalData)
 		tok := st.newDelivToken(msg.rclk)
+		m, me := img.m, img.Rank()
 		sendOpts := rt.SendOpts{
-			Track:       track,
-			Class:       classForBytes(img.m, bytes),
-			Bytes:       bytes,
-			OnDelivered: tok.complete,
+			Track: track,
+			Class: classForBytes(img.m, bytes),
+			Bytes: bytes,
+			OnDelivered: func() {
+				m.opStageAt(msg.op, me, trace.StageLocalOp)
+				tok.complete()
+			},
 			// See Spawn: abandonment completes the token so notifies
 			// gated on outstanding deliveries are not lost with the
 			// dead destination.
-			OnAbandoned: tok.complete,
-		}
-		if msg.opID != 0 {
-			m, me := img.m, img.Rank()
-			sendOpts.OnDelivered = func() {
-				m.opStageAt(msg.opID, me, trace.StageLocalOp)
+			OnAbandoned: func() {
+				m.opStageAt(msg.op, me, trace.StageLocalOp)
+				m.opStageAt(msg.op, me, trace.StageGlobal)
 				tok.complete()
-			}
-			sendOpts.OnAbandoned = func() {
-				m.opStageAt(msg.opID, me, trace.StageLocalOp)
-				m.opStageAt(msg.opID, me, trace.StageGlobal)
-				tok.complete()
-			}
+			},
 		}
 		st.kern.Send(target, tagSpawnNamed, msg, sendOpts)
 	}
@@ -156,6 +153,7 @@ func (img *Image) SpawnNamed(target int, name string, args []any, opts ...SpawnO
 	} else {
 		send()
 	}
+	return msg.op
 }
 
 // handleSpawnNamed executes a registered shipped function.
@@ -197,7 +195,7 @@ func (m *Machine) handleSpawnNamed(d *rt.Delivery) {
 		fn(img, args)
 		img.traceSpan("spawn-exec:"+msg.name, "ship", execStart)
 		img.ct.Flush()
-		m.opStageAt(msg.opID, img.Rank(), trace.StageGlobal)
+		m.opStageAt(msg.op, img.Rank(), trace.StageGlobal)
 		m.spawnJoin(img, msg.event, msg.finishID, d)
 	})
 }
