@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-json-quick fuzz-smoke profile-smoke continuation-smoke chaos-crash ci figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench bench-json bench-json-quick bench-shards fuzz-smoke profile-smoke continuation-smoke chaos-crash shard-matrix ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -19,9 +19,10 @@ test-short:
 	$(GO) test -short ./...
 
 # What .github/workflows/ci.yml runs (the workflow adds fuzz-smoke).
-ci: vet build test
+ci: vet build test shard-matrix
 	$(GO) test -race -short ./internal/...
 	$(GO) run ./cmd/benchjson -quick
+	$(GO) run ./cmd/benchjson -shards -quick
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -32,6 +33,11 @@ bench-json:
 
 bench-json-quick:
 	$(GO) run ./cmd/benchjson -quick
+
+# Regenerate the committed shard-sweep artifact (wall-clock per shard
+# count, bit-identity asserted in every row).
+bench-shards:
+	$(GO) run ./cmd/benchjson -shards -out BENCH_shards.json
 
 # Traced quickstart driven through the whole observability pipeline:
 # lifecycle tracing + metrics on, profile JSON written, then parsed and
@@ -59,6 +65,15 @@ fuzz-smoke:
 # (legacy deadlock pinned), plus the resilient-finish property tests.
 chaos-crash:
 	$(GO) test -run 'Crash|DetectorOn|Resilient' -v ./internal/chaos ./internal/core .
+
+# Shard-determinism gate, all under the race detector: the admission
+# oracle and worker-protocol tests, the sharded chaos / resilient-finish
+# bit-identity sweeps, and the golden shard-equivalence matrix (every
+# workload at shards 1/2/4/8 × GOMAXPROCS 1/8 against the committed
+# 1-shard goldens).
+shard-matrix:
+	$(GO) test -race -run 'Shard|Sharded' ./internal/sim ./internal/core ./internal/chaos
+	$(GO) test -race -run 'TestGoldenShardEquivalence' ./examples/workloads
 
 figures:
 	$(GO) run ./cmd/figures -out results

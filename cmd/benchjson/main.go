@@ -1,9 +1,13 @@
-// Command benchjson runs the message-coalescing benchmark-regression
-// sweep — RandomAccess function shipping and the Fig. 12 cofence loop,
-// coalesced vs. uncoalesced — and writes the result as JSON (the
-// committed BENCH_coalesce.json artifact).
+// Command benchjson runs a benchmark-regression sweep and writes the
+// result as JSON. The default mode is the message-coalescing sweep —
+// RandomAccess function shipping and the Fig. 12 cofence loop, coalesced
+// vs. uncoalesced (the committed BENCH_coalesce.json artifact). The
+// -shards mode runs the shard-count sweep instead — the same workloads
+// across engine shard counts, pinning bit-identity and reporting host
+// wall-clock (the committed BENCH_shards.json artifact).
 //
 //	go run ./cmd/benchjson -out BENCH_coalesce.json
+//	go run ./cmd/benchjson -shards -out BENCH_shards.json
 package main
 
 import (
@@ -20,24 +24,9 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "output file (default: stdout)")
 	quick := flag.Bool("quick", false, "seconds-scale smoke sweep")
-	metrics := flag.Bool("metrics", false, "embed each row's per-image metrics snapshot")
+	metrics := flag.Bool("metrics", false, "embed each row's per-image metrics snapshot (coalesce mode)")
+	shards := flag.Bool("shards", false, "run the shard-count sweep instead of the coalescing sweep")
 	flag.Parse()
-
-	o := bench.DefaultCoalesce()
-	if *quick {
-		o = bench.SmokeCoalesce()
-	}
-	o.Metrics = *metrics
-
-	wall := time.Now()
-	rep, err := bench.Coalesce(o)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("sweep done in %v wall time", time.Since(wall).Round(time.Millisecond))
-	for w, red := range rep.MsgReduction {
-		log.Printf("%s: %.2fx fewer wire packets, %.2fx faster", w, red, rep.Speedup[w])
-	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -48,6 +37,42 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+
+	wall := time.Now()
+	if *shards {
+		o := bench.DefaultShards()
+		if *quick {
+			o = bench.SmokeShards()
+		}
+		rep, err := bench.Shards(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shard sweep done in %v wall time", time.Since(wall).Round(time.Millisecond))
+		for wl, s := range rep.BestSpeedup {
+			log.Printf("%s: best wall-clock speedup %.2fx over 1 shard", wl, s)
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	o := bench.DefaultCoalesce()
+	if *quick {
+		o = bench.SmokeCoalesce()
+	}
+	o.Metrics = *metrics
+
+	rep, err := bench.Coalesce(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sweep done in %v wall time", time.Since(wall).Round(time.Millisecond))
+	for wl, red := range rep.MsgReduction {
+		log.Printf("%s: %.2fx fewer wire packets, %.2fx faster", wl, red, rep.Speedup[wl])
+	}
+
 	if err := rep.WriteJSON(w); err != nil {
 		log.Fatal(err)
 	}

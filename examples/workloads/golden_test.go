@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	caf "caf2go"
@@ -23,6 +24,18 @@ type goldenFile struct {
 	Check  string
 }
 
+// goldenCase is one pinned workload. Run applies mod to the case's base
+// config before launching, so the same case can be re-run with a shard
+// count or instrumentation layered on; the golden files themselves are
+// always produced with the identity mod.
+type goldenCase struct {
+	Name string
+	Run  func(mod func(*caf.Config), opts ...RunOpt) (Result, error)
+}
+
+// noMod is the identity config mutator: the pinned legacy configuration.
+func noMod(*caf.Config) {}
+
 // goldenCases returns every examples/ program at small scale. The suite
 // pins the FULL caf.Report (virtual time, message/byte counts, spawn and
 // finish counters, and the coalescing/recovery counters) bit-for-bit:
@@ -30,73 +43,101 @@ type goldenFile struct {
 // the legacy path shows up as a golden diff. Rows with a Coalescing
 // config additionally pin the adaptive-coalescing path, new counters
 // included.
-func goldenCases() []struct {
-	Name string
-	Run  func() (Result, error)
-} {
+func goldenCases() []goldenCase {
 	coal := caf.Coalescing{MaxMsgs: 8, MaxBytes: 2048, FlushAfter: 5 * caf.Microsecond}
-	return []struct {
-		Name string
-		Run  func() (Result, error)
-	}{
-		{"quickstart", func() (Result, error) {
-			return Quickstart(caf.Config{Images: 8, Seed: 42})
+	return []goldenCase{
+		{"quickstart", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 42}
+			mod(&cfg)
+			return Quickstart(cfg, opts...)
 		}},
-		{"quickstart-coalesced", func() (Result, error) {
-			return Quickstart(caf.Config{Images: 8, Seed: 42, Coalescing: coal})
+		{"quickstart-coalesced", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 42, Coalescing: coal}
+			mod(&cfg)
+			return Quickstart(cfg, opts...)
 		}},
-		{"quickstart-coalesced-tiny", func() (Result, error) {
+		{"quickstart-coalesced-tiny", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
 			tiny := caf.Coalescing{MaxMsgs: 2, MaxBytes: 256, FlushAfter: 2 * caf.Microsecond}
-			return Quickstart(caf.Config{Images: 8, Seed: 42, Coalescing: tiny})
+			cfg := caf.Config{Images: 8, Seed: 42, Coalescing: tiny}
+			mod(&cfg)
+			return Quickstart(cfg, opts...)
 		}},
-		{"stencil-overlap", func() (Result, error) {
-			return Stencil(caf.Config{Images: 8, Seed: 7}, 32, 5, true)
+		{"stencil-overlap", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 7}
+			mod(&cfg)
+			return Stencil(cfg, 32, 5, true, opts...)
 		}},
-		{"stencil-blocking", func() (Result, error) {
-			return Stencil(caf.Config{Images: 8, Seed: 7}, 32, 5, false)
+		{"stencil-blocking", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 7}
+			mod(&cfg)
+			return Stencil(cfg, 32, 5, false, opts...)
 		}},
-		{"worksteal-getput", func() (Result, error) {
-			return Worksteal(caf.Config{Images: 4, Seed: 3}, 16, 4, false)
+		{"worksteal-getput", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 4, Seed: 3}
+			mod(&cfg)
+			return Worksteal(cfg, 16, 4, false, opts...)
 		}},
-		{"worksteal-shipping", func() (Result, error) {
-			return Worksteal(caf.Config{Images: 4, Seed: 3}, 16, 4, true)
+		{"worksteal-shipping", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 4, Seed: 3}
+			mod(&cfg)
+			return Worksteal(cfg, 16, 4, true, opts...)
 		}},
-		{"worksteal-shipping-coalesced", func() (Result, error) {
-			return Worksteal(caf.Config{Images: 4, Seed: 3, Coalescing: coal}, 16, 4, true)
+		{"worksteal-shipping-coalesced", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 4, Seed: 3, Coalescing: coal}
+			mod(&cfg)
+			return Worksteal(cfg, 16, 4, true, opts...)
 		}},
-		{"pipeline", func() (Result, error) {
-			return Pipeline(caf.Config{Images: 6, Seed: 5}, 32)
+		{"pipeline", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 6, Seed: 5}
+			mod(&cfg)
+			return Pipeline(cfg, 32, opts...)
 		}},
-		{"stencil-continuation", func() (Result, error) {
-			return StencilContinuation(caf.Config{Images: 8, Seed: 7}, 32, 5)
+		{"stencil-continuation", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 7}
+			mod(&cfg)
+			return StencilContinuation(cfg, 32, 5, opts...)
 		}},
-		{"pipeline-hop-blocking", func() (Result, error) {
-			return PipelineHopBlocking(caf.Config{Images: 6, Seed: 5}, 32)
+		{"pipeline-hop-blocking", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 6, Seed: 5}
+			mod(&cfg)
+			return PipelineHopBlocking(cfg, 32, opts...)
 		}},
-		{"pipeline-continuation", func() (Result, error) {
-			return PipelineContinuation(caf.Config{Images: 6, Seed: 5}, 32)
+		{"pipeline-continuation", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 6, Seed: 5}
+			mod(&cfg)
+			return PipelineContinuation(cfg, 32, opts...)
 		}},
-		{"termination-finish", func() (Result, error) {
-			return TerminationFinish(caf.Config{Images: 8, Seed: 7}, 2, 3)
+		{"termination-finish", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 7}
+			mod(&cfg)
+			return TerminationFinish(cfg, 2, 3, opts...)
 		}},
-		{"termination-nowait", func() (Result, error) {
-			return TerminationFinish(caf.Config{Images: 8, Seed: 7, FinishNoWait: true}, 2, 3)
+		{"termination-nowait", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 7, FinishNoWait: true}
+			mod(&cfg)
+			return TerminationFinish(cfg, 2, 3, opts...)
 		}},
-		{"termination-barrier", func() (Result, error) {
-			return TerminationBarrier(caf.Config{Images: 8, Seed: 7}, 2, 3)
+		{"termination-barrier", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 7}
+			mod(&cfg)
+			return TerminationBarrier(cfg, 2, 3, opts...)
 		}},
-		{"termination-finish-coalesced", func() (Result, error) {
-			return TerminationFinish(caf.Config{Images: 8, Seed: 7, Coalescing: coal}, 2, 3)
+		{"termination-finish-coalesced", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 7, Coalescing: coal}
+			mod(&cfg)
+			return TerminationFinish(cfg, 2, 3, opts...)
 		}},
-		{"transpose", func() (Result, error) {
-			return Transpose(caf.Config{Images: 4, Seed: 1}, 16)
+		{"transpose", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 4, Seed: 1}
+			mod(&cfg)
+			return Transpose(cfg, 16, opts...)
 		}},
-		{"crashed-finish", func() (Result, error) {
+		{"crashed-finish", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
 			// Image 1's NIC dies mid-task-graph; the detector declares
 			// it dead a heartbeat+lease later and the resilient finish
 			// surfaces a typed error. Pins the whole failure path:
 			// declaration time, charge-off accounting, and counters.
-			return CrashedFinish(caf.Config{
+			cfg := caf.Config{
 				Images: 8,
 				Seed:   7,
 				Faults: &caf.FaultPlan{
@@ -104,7 +145,9 @@ func goldenCases() []struct {
 					Crash: map[int]caf.Time{1: 100 * caf.Microsecond},
 				},
 				FailureDetector: caf.FailureDetectorConfig{Enabled: true},
-			}, 2, 3)
+			}
+			mod(&cfg)
+			return CrashedFinish(cfg, 2, 3, opts...)
 		}},
 	}
 }
@@ -116,7 +159,7 @@ func goldenCases() []struct {
 func TestGoldenReports(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.Name, func(t *testing.T) {
-			res, err := tc.Run()
+			res, err := tc.Run(noMod)
 			if err != nil {
 				t.Fatalf("workload failed: %v", err)
 			}
@@ -160,17 +203,107 @@ func TestGoldenReports(t *testing.T) {
 func TestGoldenDeterminism(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.Name, func(t *testing.T) {
-			a, err := tc.Run()
+			a, err := tc.Run(noMod)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := tc.Run()
+			b, err := tc.Run(noMod)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !reflect.DeepEqual(a, b) {
 				t.Errorf("same-config runs diverged:\n 1st: %s\n 2nd: %s",
 					mustJSON(a), mustJSON(b))
+			}
+		})
+	}
+}
+
+// shardMatrix is the determinism-equivalence sweep: every shard count
+// the tentpole promises to keep invisible, crossed with single- and
+// multi-core Go scheduling. There is deliberately no -update path for
+// any of it: a sharded run that differs from the 1-shard result is a
+// bug by definition, never a new golden.
+var (
+	shardCounts  = []int{1, 2, 4, 8}
+	gomaxprocsMx = []int{1, 8}
+)
+
+// TestGoldenShardEquivalence runs every golden workload across the full
+// shards × GOMAXPROCS matrix and demands three layers of bit-identity
+// with the 1-shard reference:
+//
+//  1. the committed golden file (the sharded Report must match the
+//     exact bytes pinned before sharding existed),
+//  2. the full instrumented Result (Report including the metrics
+//     snapshot) against an in-process 1-shard baseline,
+//  3. the execution trace and lifecycle profile, event by event.
+func TestGoldenShardEquivalence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, tc := range goldenCases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			// Layer 2/3 baseline: 1 shard, tracing + metrics on.
+			instrument := func(cfg *caf.Config) {
+				cfg.TraceCapacity = 1 << 15
+				cfg.Metrics = true
+			}
+			var baseM *caf.Machine
+			base, err := tc.Run(instrument, CaptureMachine(&baseM))
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseTrace := baseM.Trace().Events()
+			baseProf := baseM.Profile()
+
+			// Layer 1 reference: the committed golden file.
+			var want goldenFile
+			data, err := os.ReadFile(filepath.Join("testdata", tc.Name+".golden.json"))
+			if err != nil {
+				t.Fatalf("missing golden file: %v", err)
+			}
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, procs := range gomaxprocsMx {
+				for _, shards := range shardCounts {
+					name := fmt.Sprintf("shards=%d/procs=%d", shards, procs)
+					prev := runtime.GOMAXPROCS(procs)
+
+					// Layer 1: plain config + Shards vs committed golden.
+					res, err := tc.Run(func(cfg *caf.Config) { cfg.Shards = shards })
+					if err != nil {
+						runtime.GOMAXPROCS(prev)
+						t.Fatalf("%s: %v", name, err)
+					}
+					got := goldenFile{Report: res.Report, Check: res.Check}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s: report diverged from committed golden:\n got: %s\nwant: %s",
+							name, mustJSON(got), mustJSON(want))
+					}
+
+					// Layers 2+3: instrumented run vs 1-shard baseline.
+					var m *caf.Machine
+					ires, err := tc.Run(func(cfg *caf.Config) {
+						instrument(cfg)
+						cfg.Shards = shards
+					}, CaptureMachine(&m))
+					runtime.GOMAXPROCS(prev)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if !reflect.DeepEqual(ires, base) {
+						t.Errorf("%s: instrumented Result diverged from 1-shard baseline:\n got: %s\nwant: %s",
+							name, mustJSON(ires), mustJSON(base))
+					}
+					if tr := m.Trace().Events(); !reflect.DeepEqual(tr, baseTrace) {
+						t.Errorf("%s: trace diverged from 1-shard baseline (%d vs %d events)",
+							name, len(tr), len(baseTrace))
+					}
+					if pr := m.Profile(); !reflect.DeepEqual(pr, baseProf) {
+						t.Errorf("%s: lifecycle profile diverged from 1-shard baseline", name)
+					}
+				}
 			}
 		})
 	}

@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	caf "caf2go"
+)
+
+// TestShardedChaosSweepBitIdentical re-runs the seed×rate fault sweep on
+// a 4-shard engine and pins same-seed bit-identity against the 1-shard
+// run: identical fingerprint (virtual end time, traffic, recovery
+// counters, results digest) and identical Report, for every workload.
+// Fault injection — packet loss, duplication, reorder, stalls — draws
+// from the engine RNG on the admission strand, so shard count must not
+// perturb a single roll.
+func TestShardedChaosSweepBitIdentical(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, seed := range sweepSeeds {
+			for _, rate := range sweepRates {
+				w, seed, rate := w, seed, rate
+				t.Run(fmt.Sprintf("%s/seed=%d/rate=%g", w.Name, seed, rate), func(t *testing.T) {
+					ref, err := w.Run(caf.Config{Seed: seed, Faults: Plan(seed, rate)})
+					if err != nil {
+						t.Fatalf("1-shard run failed: %v", err)
+					}
+					got, err := w.Run(caf.Config{Seed: seed, Faults: Plan(seed, rate), Shards: 4})
+					if err != nil {
+						t.Fatalf("4-shard run failed: %v", err)
+					}
+					if got.Fingerprint != ref.Fingerprint {
+						t.Errorf("4-shard fingerprint diverged:\n 1-shard %s\n 4-shard %s",
+							ref.Fingerprint, got.Fingerprint)
+					}
+					if !reflect.DeepEqual(got.Report, ref.Report) {
+						t.Errorf("4-shard report diverged:\n 1-shard %+v\n 4-shard %+v",
+							ref.Report, got.Report)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedCrashSweepBitIdentical is the crash-and-detect counterpart:
+// an image dies mid-run, the failure detector declares it, and the
+// resilient protocol surfaces a typed error — whose text (declaration
+// time and lost-activity count included) must be identical at 4 shards.
+func TestShardedCrashSweepBitIdentical(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, seed := range sweepSeeds {
+			for _, rate := range crashRates {
+				w, seed, rate := w, seed, rate
+				t.Run(fmt.Sprintf("%s/seed=%d/rate=%g", w.Name, seed, rate), func(t *testing.T) {
+					mk := func(shards int) caf.Config {
+						return caf.Config{
+							Seed:            seed,
+							Faults:          crashPlan(seed, rate),
+							FailureDetector: detectorOn(),
+							Shards:          shards,
+						}
+					}
+					ref, err1 := w.Run(mk(1))
+					got, err2 := w.Run(mk(4))
+					if (err1 == nil) != (err2 == nil) {
+						t.Fatalf("crash visibility diverged: 1-shard err=%v, 4-shard err=%v", err1, err2)
+					}
+					if err1 != nil && err1.Error() != err2.Error() {
+						t.Errorf("4-shard failure diverged:\n 1-shard %v\n 4-shard %v", err1, err2)
+					}
+					if got.Fingerprint != ref.Fingerprint {
+						t.Errorf("4-shard fingerprint diverged:\n 1-shard %s\n 4-shard %s",
+							ref.Fingerprint, got.Fingerprint)
+					}
+					if !reflect.DeepEqual(got.Report, ref.Report) {
+						t.Errorf("4-shard report diverged")
+					}
+				})
+			}
+		}
+	}
+}

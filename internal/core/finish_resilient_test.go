@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"caf2go/internal/fabric"
@@ -17,6 +18,29 @@ import (
 func resilientMachine(t testing.TB, n int, seed int64, fcfg fabric.Config, hb sim.Time) (*machine, *failure.Detector) {
 	t.Helper()
 	m := newMachineFabric(t, n, seed, Config{WaitQuiescent: true}, fcfg)
+	var crash map[int]sim.Time
+	if fcfg.Faults != nil {
+		crash = fcfg.Faults.Crash
+	}
+	det := failure.New(m.eng, n, failure.Config{Enabled: true, Heartbeat: hb}, crash)
+	m.k.SetDetector(det)
+	m.pl.SetDetector(det)
+	det.Subscribe(func(rank int, at sim.Time) {
+		m.pl.OnDeath(rank)
+		m.k.Fabric().AbandonForDead(rank)
+		m.eng.WakeAllParked()
+	})
+	return m, det
+}
+
+// resilientMachineSharded is resilientMachine over a sharded engine,
+// with the lookahead derived from the fabric the way caf.NewMachine
+// does it.
+func resilientMachineSharded(t testing.TB, n int, seed int64, fcfg fabric.Config, hb sim.Time, shards int) (*machine, *failure.Detector) {
+	t.Helper()
+	eng := sim.NewEngineSharded(seed, shards)
+	m := newMachineFabricEng(t, eng, n, Config{WaitQuiescent: true}, fcfg)
+	eng.SetLookahead(m.k.Fabric().MinLatency())
 	var crash map[int]sim.Time
 	if fcfg.Faults != nil {
 		crash = fcfg.Faults.Crash
@@ -106,6 +130,87 @@ func TestPropertyResilientFinishBoundedRounds(t *testing.T) {
 			if m.completed < m.spawned && m.pl.Stats().LostActivities == 0 {
 				t.Errorf("%d of %d spawns never ran but no activity was charged as lost",
 					m.spawned-m.completed, m.spawned)
+			}
+		})
+	}
+}
+
+// TestPropertyResilientFinishBoundedRoundsSharded re-runs the
+// bounded-rounds property forests on a 4-shard engine and pins
+// same-seed bit-identity: the crash, its declaration time, every
+// image's error, the poll-round counts, the charge-off stats, and the
+// event count must all match the 1-shard run exactly. This proves the
+// failure-detection and resilient-termination path is shard-safe, not
+// merely shard-tolerant.
+func TestPropertyResilientFinishBoundedRoundsSharded(t *testing.T) {
+	type outcome struct {
+		end       sim.Time
+		events    uint64
+		declared  sim.Time
+		errs      []string
+		rounds    []int
+		spawned   int
+		completed int
+		lost      int64
+	}
+	runForest := func(t *testing.T, seed int64, shards int) outcome {
+		rng := rand.New(rand.NewSource(seed * 131))
+		n := rng.Intn(9) + 4
+		crashRank := rng.Intn(n)
+		crashAt := sim.Time(rng.Intn(290)+5) * sim.Microsecond
+		fcfg := fabric.DefaultConfig()
+		fcfg.Faults = &fabric.FaultPlan{
+			Seed:  seed,
+			Crash: map[int]sim.Time{crashRank: crashAt},
+		}
+		const hb = 5 * sim.Microsecond
+		m, det := resilientMachineSharded(t, n, seed, fcfg, hb, shards)
+
+		ferrs := make([]*failure.ImageFailedError, n)
+		states := make([]*State, n)
+		for i := 0; i < n; i++ {
+			img := m.k.Image(i)
+			img.Go("main", func(p *sim.Proc) {
+				s := m.pl.Begin(img, m.w)
+				states[img.Rank()] = s
+				fan := rng.Intn(3) + 1
+				for f := 0; f < fan; f++ {
+					m.spawn(img, rng.Intn(n), s.Ref(), buildChain(m, rng, 1+rng.Intn(3)))
+				}
+				_, ferrs[img.Rank()] = m.pl.End(p, img, s)
+			})
+		}
+		if err := m.eng.Run(); err != nil {
+			t.Fatalf("shards=%d: resilient finish did not terminate: %v", shards, err)
+		}
+		m.eng.ReleaseWorkers()
+		out := outcome{
+			end:       m.eng.Now(),
+			events:    m.eng.EventsRun(),
+			spawned:   m.spawned,
+			completed: m.completed,
+			lost:      m.pl.Stats().LostActivities,
+		}
+		out.declared, _ = det.DeadAt(crashRank)
+		for _, fe := range ferrs {
+			if fe == nil {
+				out.errs = append(out.errs, "")
+			} else {
+				out.errs = append(out.errs, fe.Error())
+			}
+		}
+		for _, s := range states {
+			out.rounds = append(out.rounds, s.pollRound)
+		}
+		return out
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := runForest(t, seed, 1)
+			got := runForest(t, seed, 4)
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("4-shard forest diverged from 1-shard:\n got: %+v\nwant: %+v", got, ref)
 			}
 		})
 	}

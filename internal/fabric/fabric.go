@@ -296,6 +296,33 @@ func (f *Fabric) nodeOf(rank int) int {
 	return rank / f.cfg.ImagesPerNode
 }
 
+// shardOf maps an endpoint rank to the engine shard that owns its
+// events. Delivery and ack events are posted to the receiving side's
+// shard, so each image's traffic flows through its own shard's queue
+// (the conservative-PDES inbox).
+func (f *Fabric) shardOf(rank int) int {
+	return sim.ShardOf(rank, len(f.eps), f.eng.NumShards())
+}
+
+// MinLatency returns the smallest scheduling offset the fabric ever
+// uses for traffic between distinct endpoints — the lower bound on how
+// far in the future one shard can schedule into another, i.e. the
+// conservative lookahead for sharded admission. Machine construction
+// feeds this to Engine.SetLookahead.
+func (f *Fabric) MinLatency() sim.Time {
+	min := f.cfg.Latency
+	if f.cfg.SelfLatency < min {
+		min = f.cfg.SelfLatency
+	}
+	if f.cfg.AckLatency > 0 && f.cfg.AckLatency < min {
+		min = f.cfg.AckLatency
+	}
+	if min < 1 {
+		min = 1
+	}
+	return min
+}
+
 // wireLatency is the one-way latency between src and dst. Images on the
 // same node talk over shared memory (SelfLatency).
 func (f *Fabric) wireLatency(src, dst int) sim.Time {
@@ -490,7 +517,7 @@ func (ep *Endpoint) inject(m *Msg, opts SendOpts) {
 	}
 
 	dst := f.eps[m.Dst]
-	eng.At(arrival, func() { dst.deliver(m, ep, opts) })
+	eng.AtShard(f.shardOf(m.Dst), arrival, func() { dst.deliver(m, ep, opts) })
 }
 
 // deliver runs at message arrival on the destination endpoint: it claims
@@ -514,7 +541,7 @@ func (ep *Endpoint) deliver(m *Msg, src *Endpoint, opts SendOpts) {
 		if f.cfg.AckLatency != f.cfg.Latency && m.Src != m.Dst {
 			ackAt = eng.Now() + f.cfg.AckLatency
 		}
-		eng.At(ackAt, func() {
+		eng.AtShard(f.shardOf(m.Src), ackAt, func() {
 			f.stats.Acks++
 			src.outstanding--
 			if opts.OnDelivered != nil {
@@ -621,11 +648,12 @@ func (ep *Endpoint) transmit(tx *txState) {
 	}
 	dst := f.eps[m.Dst]
 	base := injected + f.wireLatency(m.Src, m.Dst)
-	eng.At(base+f.jitterDelay(), func() { dst.deliverReliable(m, ep, tx.seq) })
+	dstShard := f.shardOf(m.Dst)
+	eng.AtShard(dstShard, base+f.jitterDelay(), func() { dst.deliverReliable(m, ep, tx.seq) })
 	if f.roll(f.plan.Dup) {
 		f.stats.Duplicated++
 		f.stats.FaultsInjected++
-		eng.At(base+f.jitterDelay(), func() { dst.deliverReliable(m, ep, tx.seq) })
+		eng.AtShard(dstShard, base+f.jitterDelay(), func() { dst.deliverReliable(m, ep, tx.seq) })
 	}
 }
 
@@ -765,7 +793,7 @@ func (ep *Endpoint) deliverReliable(m *Msg, src *Endpoint, seq uint64) {
 		if f.cfg.AckLatency != f.cfg.Latency && m.Src != m.Dst {
 			ackAt = eng.Now() + f.cfg.AckLatency
 		}
-		eng.At(ackAt, func() { src.onAckArrival(m.Dst, seq) })
+		eng.AtShard(f.shardOf(m.Src), ackAt, func() { src.onAckArrival(m.Dst, seq) })
 	})
 }
 

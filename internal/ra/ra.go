@@ -135,6 +135,14 @@ type Result struct {
 
 // Run executes RandomAccess on a fresh machine.
 func Run(mcfg caf.Config, cfg Config) (Result, error) {
+	return RunCapture(mcfg, cfg, nil)
+}
+
+// RunCapture is Run, additionally storing the machine in *dst (when
+// non-nil) before launch so callers can read engine and fabric state
+// after the run — the shard-sweep benchmark pulls cross-shard traffic
+// counters this way.
+func RunCapture(mcfg caf.Config, cfg Config, dst **caf.Machine) (Result, error) {
 	if cfg.LocalTableBits <= 0 {
 		cfg.LocalTableBits = 10
 	}
@@ -159,6 +167,9 @@ func Run(mcfg caf.Config, cfg Config) (Result, error) {
 
 	var startT, endT caf.Time
 	m := caf.NewMachine(mcfg)
+	if dst != nil {
+		*dst = m
+	}
 	m.Launch(func(img *caf.Image) {
 		rank := img.Rank()
 		ca := caf.NewCoarray[uint64](img, nil, int(localSize))

@@ -170,10 +170,14 @@ func (img *ImageKernel) Engine() *sim.Engine { return img.k.eng }
 // Endpoint returns the image's fabric endpoint.
 func (img *ImageKernel) Endpoint() *fabric.Endpoint { return img.ep }
 
-// Go starts a simulated process on this image.
+// Go starts a simulated process on this image. The proc is owned by the
+// image's engine shard, so its start and every later wakeup are admitted
+// through that shard's queue.
 func (img *ImageKernel) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
 	img.procSeq++
-	p := img.k.eng.Go(fmt.Sprintf("img%d/%s#%d", img.rank, name, img.procSeq), fn)
+	eng := img.k.eng
+	shard := sim.ShardOf(img.rank, len(img.k.images), eng.NumShards())
+	p := eng.GoOn(shard, fmt.Sprintf("img%d/%s#%d", img.rank, name, img.procSeq), fn)
 	img.procs = append(img.procs, p)
 	return p
 }

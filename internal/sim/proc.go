@@ -36,9 +36,10 @@ type procAbort struct{}
 // than real blocking. All Proc methods must be called from the proc's own
 // goroutine, except Unpark, which is called by whoever wakes it.
 type Proc struct {
-	eng  *Engine
-	id   int
-	name string
+	eng   *Engine
+	id    int
+	name  string
+	shard int // owning shard: all of this proc's wakeups are admitted there
 
 	resume chan struct{}
 	state  procState
@@ -49,24 +50,39 @@ type Proc struct {
 	blockReason string
 }
 
-// Go creates a process named name and schedules it to start immediately.
+// Go creates a process named name and schedules it to start immediately,
+// owned by the shard of the creating strand.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	return e.GoAt(e.now, name, fn)
+	return e.GoAtOn(e.cur, e.now, name, fn)
 }
 
-// GoAt creates a process that starts at virtual time t.
+// GoAt creates a process that starts at virtual time t, owned by the
+// shard of the creating strand.
 func (e *Engine) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
+	return e.GoAtOn(e.cur, t, name, fn)
+}
+
+// GoOn creates a process owned by a specific shard and schedules it to
+// start immediately. Image procs use this so each image's work is
+// admitted through its owning shard's queue.
+func (e *Engine) GoOn(shard int, name string, fn func(p *Proc)) *Proc {
+	return e.GoAtOn(shard, e.now, name, fn)
+}
+
+// GoAtOn creates a process owned by a specific shard, starting at t.
+func (e *Engine) GoAtOn(shard int, t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:    e,
 		id:     len(e.procs),
 		name:   name,
+		shard:  shard,
 		resume: make(chan struct{}),
 		state:  procNew,
 	}
 	e.procs = append(e.procs, p)
 	e.live++
 	go p.run(fn)
-	e.At(t, func() {
+	e.AtShard(shard, t, func() {
 		if p.aborted {
 			return
 		}
@@ -97,6 +113,9 @@ func (p *Proc) run(fn func(p *Proc)) {
 
 // ID returns the process id, unique within its engine.
 func (p *Proc) ID() int { return p.id }
+
+// Shard returns the id of the shard that owns this proc's events.
+func (p *Proc) Shard() int { return p.shard }
 
 // Name returns the process name.
 func (p *Proc) Name() string { return p.name }
@@ -141,7 +160,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	p.state = procSleeping
-	p.eng.After(d, func() {
+	p.eng.AtShard(p.shard, p.eng.now+d, func() {
 		if p.aborted || p.state != procSleeping {
 			return
 		}
@@ -177,7 +196,10 @@ func (p *Proc) Unpark() {
 			return
 		}
 		p.wakePending = true
-		p.eng.At(p.eng.now, func() {
+		// The wake is admitted through the proc's owning shard: wakers
+		// on other shards post into its inbox, keeping every resumption
+		// of p in its own shard's admission stream.
+		p.eng.AtShard(p.shard, p.eng.now, func() {
 			p.wakePending = false
 			if p.aborted || p.state != procParked {
 				// Woken by something else in the meantime; convert

@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Tuning knobs for the far-domain handoff. Sizes are event counts.
+//
+// batchSize is how many far-routed events accumulate on the admission
+// strand before being handed to the shard's worker; refillSize is how
+// many pre-popped events a worker returns per refill; prefetchLow is the
+// ready-run watermark at which the next refill is requested so the
+// worker sorts in the background while the coordinator keeps admitting.
+const (
+	batchSize   = 128
+	refillSize  = 256
+	prefetchLow = 64
+)
+
+// shard owns a slice of the event queue: the images assigned to it by
+// ShardOf schedule their events here. Events are split into two domains:
+//
+//   - near: a heap owned by the admission strand. Everything due inside
+//     the lookahead horizon, plus anything that must stay visible to the
+//     coordinator (keys below the far-domain floor), lives here.
+//   - far:  events at least one lookahead away. They are batched and
+//     handed to the shard's worker goroutine, which merges them into its
+//     own heap off the admission strand and returns sorted "ready runs"
+//     on request. This is the shard's inbox in the conservative-PDES
+//     sense: cross-shard posts land here (or in near, when inside the
+//     horizon) and are admitted only when they are globally safe — i.e.
+//     when their (time, seq) key is the minimum across all shards.
+//
+// The admission order never depends on which domain an event sits in:
+// head is always the exact minimum key over both domains (see
+// recomputeHead for the floor argument), and the engine only ever admits
+// the global minimum over all shard heads. That is what makes shard
+// count and GOMAXPROCS invisible in every Report, trace, and metric.
+type shard struct {
+	eng *Engine
+	id  int
+
+	// near is the admission-strand heap.
+	near eventHeap
+
+	// now is the shard's virtual clock: the timestamp of the last event
+	// admitted on this shard. It trails the global clock by at most the
+	// lookahead whenever the shard has pending work.
+	now Time
+
+	// rng is the shard's own deterministic stream, derived from the
+	// engine seed and shard id. The runtime itself draws from per-image
+	// streams, so this is for shard-local perturbations only.
+	rng *rand.Rand
+
+	admitted uint64 // events admitted (executed) on this shard
+	crossIn  uint64 // events posted into this shard from another shard
+
+	// head caches the exact minimum key across near + far domains, or
+	// keyMax when the shard is empty. Maintained incrementally: pushes
+	// min-compare, pops recompute.
+	head eventKey
+
+	// Far domain, only active while a worker is attached (w != nil).
+	w         *shardWorker
+	batch     []event  // far-routed events not yet handed to the worker
+	hold      []event  // far-routed events arriving while a refill is in flight
+	farCount  int      // events in batch+hold+worker custody (excludes ready)
+	floor     eventKey // far-domain lower bound: every far event sorts after it
+	floorSet  bool
+	ready     []event // sorted run pre-popped by the worker
+	readyPos  int
+	refilling bool // a refill request is outstanding
+}
+
+func newShard(e *Engine, id int) *shard {
+	return &shard{
+		eng:  e,
+		id:   id,
+		rng:  e.DeriveRand(0x5ca4d0 + int64(id)),
+		head: keyMax,
+	}
+}
+
+func (s *shard) readyLeft() int { return len(s.ready) - s.readyPos }
+
+// push routes ev into the near heap or the far domain and keeps head
+// exact. Runs on the admission strand only.
+func (s *shard) push(ev event) {
+	k := ev.key()
+	if s.w == nil {
+		s.near.push(ev)
+	} else if (s.floorSet && k.less(s.floor)) || ev.at < s.eng.now+s.eng.lookahead {
+		// Below the far floor it MUST stay coordinator-visible; inside
+		// the lookahead horizon it is about to be admitted anyway, so
+		// a worker round-trip would only add latency.
+		s.near.push(ev)
+	} else if s.refilling {
+		// The worker is building a run from a frozen snapshot; holding
+		// these aside keeps that snapshot's minimum exact. They are
+		// re-routed against the new floor when the run is collected.
+		s.hold = append(s.hold, ev)
+		s.farCount++
+	} else {
+		s.batch = append(s.batch, ev)
+		s.farCount++
+		if len(s.batch) >= batchSize {
+			s.handoff()
+		}
+	}
+	if k.less(s.head) {
+		s.head = k
+	}
+}
+
+// popHead removes and returns the event whose key equals s.head.
+// Runs on the admission strand only.
+func (s *shard) popHead() event {
+	for {
+		if s.near.Len() > 0 && s.near.peekKey() == s.head {
+			ev := s.near.pop()
+			s.recomputeHead()
+			return ev
+		}
+		if s.readyPos < len(s.ready) && s.ready[s.readyPos].key() == s.head {
+			ev := s.ready[s.readyPos]
+			s.ready[s.readyPos] = event{} // release fn for GC
+			s.readyPos++
+			if s.w != nil && !s.refilling && s.farCount > 0 && s.readyLeft() <= prefetchLow {
+				s.requestRefill()
+			}
+			s.recomputeHead()
+			return ev
+		}
+		// The head key is still inside the far domain (e.g. the shard's
+		// only pending events were batched but never materialized into a
+		// run). Each collect either installs a run containing the head
+		// or re-routes it into the near heap, so this loop terminates.
+		s.collectRefill()
+	}
+}
+
+// recomputeHead restores head = exact min key over near + ready + far.
+// The far domain only has a lower bound (floor), so when the ready run
+// is exhausted and the floor cannot prove near is smaller, the
+// coordinator must block for the next run before head is known.
+func (s *shard) recomputeHead() {
+	for {
+		h := keyMax
+		if s.near.Len() > 0 {
+			h = s.near.peekKey()
+		}
+		if s.readyPos < len(s.ready) {
+			if rk := s.ready[s.readyPos].key(); rk.less(h) {
+				h = rk
+			}
+		} else if s.farCount > 0 {
+			// Every far event sorts after floor, so a near head below
+			// the floor is provably the shard minimum; otherwise the
+			// true minimum may be in the far domain.
+			if !(s.floorSet && s.near.Len() > 0 && h.less(s.floor)) {
+				s.collectRefill()
+				continue
+			}
+		}
+		s.head = h
+		return
+	}
+}
+
+// handoff gives the accumulated batch to the worker for merging.
+func (s *shard) handoff() {
+	w := s.w
+	w.mu.Lock()
+	w.inq = append(w.inq, s.batch)
+	s.batch = w.takeSpareLocked()
+	w.cv.Signal()
+	w.mu.Unlock()
+}
+
+// requestRefill asks the worker for the next sorted run. The current
+// batch rides along so the run is built from the complete far domain.
+func (s *shard) requestRefill() {
+	w := s.w
+	w.mu.Lock()
+	if len(s.batch) > 0 {
+		w.inq = append(w.inq, s.batch)
+		s.batch = w.takeSpareLocked()
+	}
+	w.want = refillSize
+	w.cv.Signal()
+	w.mu.Unlock()
+	s.refilling = true
+}
+
+// collectRefill blocks until the worker's run is ready and installs it,
+// advancing the far-domain floor to the run's last key and re-routing
+// any events held aside while the request was in flight.
+func (s *shard) collectRefill() {
+	if !s.refilling {
+		s.requestRefill()
+	}
+	w := s.w
+	w.mu.Lock()
+	for !w.runOK {
+		w.cv.Wait()
+	}
+	run := w.run
+	w.run, w.runOK = nil, false
+	recycle := s.readyLeft() == 0 && s.ready != nil
+	if recycle {
+		w.spare = append(w.spare, s.ready[:0])
+	}
+	w.mu.Unlock()
+	s.refilling = false
+	taken := len(run)
+
+	// Trim: a run that reaches deep into the future (a lone retransmit
+	// timer, say) would ratchet the floor far ahead of the clock and
+	// force every later push into the near heap, starving the worker.
+	// Keep only the prefix within a generous horizon (but at least one
+	// event, so the head stays reachable) and re-batch the tail.
+	keep := len(run)
+	horizon := s.eng.now + 8*s.eng.lookahead
+	for keep > 1 && run[keep-1].at > horizon {
+		keep--
+	}
+	tail := run[keep:]
+	run = run[:keep]
+
+	if rem := s.readyLeft(); rem > 0 {
+		// Only the release path collects with unconsumed events left;
+		// prepend them (their keys all sort below the run's).
+		merged := make([]event, 0, rem+len(run))
+		merged = append(merged, s.ready[s.readyPos:]...)
+		merged = append(merged, run...)
+		run = merged
+	}
+	s.ready, s.readyPos = run, 0
+	s.farCount -= taken
+	if len(run) > 0 {
+		s.floor = run[len(run)-1].key()
+		s.floorSet = true
+	}
+	hold := s.hold
+	s.hold = s.hold[:0]
+	for _, ev := range hold {
+		s.farCount--
+		s.push(ev)
+	}
+	for _, ev := range tail {
+		s.push(ev)
+	}
+}
+
+// spawnWorker attaches a far-domain worker goroutine to the shard.
+func (s *shard) spawnWorker() {
+	w := &shardWorker{done: make(chan struct{})}
+	w.cv = sync.NewCond(&w.mu)
+	s.w = w
+	go w.loop()
+}
+
+// releaseWorker stops the worker goroutine and folds the whole far
+// domain back into the near heap, returning the shard to serial mode.
+func (s *shard) releaseWorker() {
+	w := s.w
+	if w == nil {
+		return
+	}
+	if s.refilling {
+		s.collectRefill()
+	}
+	w.mu.Lock()
+	w.stop = true
+	w.cv.Broadcast()
+	w.mu.Unlock()
+	<-w.done
+	for _, b := range w.inq {
+		for _, ev := range b {
+			s.near.push(ev)
+		}
+	}
+	for w.far.Len() > 0 {
+		s.near.push(w.far.pop())
+	}
+	for _, ev := range s.batch {
+		s.near.push(ev)
+	}
+	for _, ev := range s.hold {
+		s.near.push(ev)
+	}
+	for i := s.readyPos; i < len(s.ready); i++ {
+		s.near.push(s.ready[i])
+	}
+	s.batch, s.hold, s.ready, s.readyPos = nil, nil, nil, 0
+	s.farCount = 0
+	s.floorSet = false
+	s.w = nil
+	s.recomputeHead()
+}
+
+// shardWorker owns a shard's far heap. It merges handed-off batches and
+// pre-pops sorted runs so that heap maintenance runs off the admission
+// strand. Heap maintenance is commutative with respect to the admission
+// key order, so worker timing can never change what the engine admits —
+// only how fast the next run is available.
+type shardWorker struct {
+	mu    sync.Mutex
+	cv    *sync.Cond
+	inq   [][]event // batches awaiting merge (coordinator → worker)
+	far   eventHeap
+	want  int     // requested run size; 0 when no request pending
+	run   []event // completed run (worker → coordinator)
+	runOK bool
+	spare [][]event // recycled slices
+	stop  bool
+	done  chan struct{}
+}
+
+func (w *shardWorker) takeSpareLocked() []event {
+	if n := len(w.spare); n > 0 {
+		b := w.spare[n-1]
+		w.spare = w.spare[:n-1]
+		return b
+	}
+	return make([]event, 0, batchSize)
+}
+
+func (w *shardWorker) loop() {
+	defer close(w.done)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		for !w.stop && len(w.inq) == 0 && w.want == 0 {
+			w.cv.Wait()
+		}
+		if w.stop {
+			return
+		}
+		// Merge every pending batch before building a run: a run must
+		// reflect the complete far domain at request time, so that it
+		// really contains the domain's smallest keys.
+		for len(w.inq) > 0 {
+			b := w.inq[0]
+			w.inq = w.inq[:copy(w.inq, w.inq[1:])]
+			for _, ev := range b {
+				w.far.push(ev)
+			}
+			w.spare = append(w.spare, b[:0])
+		}
+		if w.want > 0 && !w.runOK {
+			n := w.want
+			if n > w.far.Len() {
+				n = w.far.Len()
+			}
+			run := w.takeSpareLocked()
+			for i := 0; i < n; i++ {
+				run = append(run, w.far.pop())
+			}
+			w.run, w.runOK = run, true
+			w.want = 0
+			w.cv.Broadcast()
+		}
+	}
+}

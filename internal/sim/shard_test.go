@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// admission is one observed event execution: which label ran, at what
+// time, with which global seq.
+type admission struct {
+	label int
+	at    Time
+	seq   uint64
+}
+
+// runShardSchedule drives a synthetic event workload through an engine
+// with the given shard count and returns the admission order. The
+// workload reschedules from inside events (so the far domain, the
+// cross-shard inbox, and the hold/refill machinery are all exercised)
+// and is a pure function of the admission order, so two engines agree
+// on the generated schedule iff they admit identically.
+func runShardSchedule(shards int, seed int64, initial, budget int, lookahead Time) []admission {
+	eng := NewEngineSharded(seed, shards)
+	eng.SetLookahead(lookahead)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	var got []admission
+	label := 0
+	scheduled := 0
+	var schedule func(from Time)
+	schedule = func(from Time) {
+		l := label
+		label++
+		scheduled++
+		sh := rng.Intn(shards)
+		at := from + Time(rng.Intn(2000))
+		eng.AtShard(sh, at, func() {
+			got = append(got, admission{l, eng.Now(), eng.seq})
+			// Fan out: each event spawns 0–2 more until the budget is
+			// spent, from inside the admission strand, at times spread
+			// across near (< lookahead) and far (≫ lookahead) horizons.
+			for n := rng.Intn(3); n > 0 && scheduled < budget; n-- {
+				schedule(eng.Now())
+			}
+		})
+	}
+	for i := 0; i < initial && scheduled < budget; i++ {
+		schedule(0)
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	eng.ReleaseWorkers()
+	return got
+}
+
+// TestPropertyShardAdmissionOracle: for random workloads, every shard
+// count admits events in exactly the order the single-heap oracle does —
+// globally sorted by (time, seq) and label-for-label identical to the
+// 1-shard engine.
+func TestPropertyShardAdmissionOracle(t *testing.T) {
+	prop := func(seed int64, init uint8, la uint16) bool {
+		initial := int(init)%16 + 1
+		budget := 400
+		lookahead := Time(la)%500 + 1
+		ref := runShardSchedule(1, seed, initial, budget, lookahead)
+
+		// Oracle: the admitted sequence must be sorted by (at, seq) —
+		// what popping one global eventHeap would produce.
+		sorted := sort.SliceIsSorted(ref, func(i, j int) bool {
+			if ref[i].at != ref[j].at {
+				return ref[i].at < ref[j].at
+			}
+			return ref[i].seq < ref[j].seq
+		})
+		if !sorted {
+			t.Logf("seed %d: 1-shard admission not in (time, seq) order", seed)
+			return false
+		}
+		for _, k := range []int{2, 3, 4, 8} {
+			got := runShardSchedule(k, seed, initial, budget, lookahead)
+			if !reflect.DeepEqual(got, ref) {
+				t.Logf("seed %d: %d-shard admission diverged from single-heap oracle", seed, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardCrossPostsCounted sanity-checks that multi-shard runs really
+// route traffic through the cross-shard inbox (the equivalence tests
+// above would pass vacuously if everything landed on one shard).
+func TestShardCrossPostsCounted(t *testing.T) {
+	eng := NewEngineSharded(11, 4)
+	eng.SetLookahead(10)
+	for i := 0; i < 64; i++ {
+		i := i
+		eng.AtShard(i%4, Time(i), func() {
+			eng.AtShard((i+1)%4, eng.Now()+100, func() {})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	eng.ReleaseWorkers()
+	if eng.CrossShardPosts() == 0 {
+		t.Fatal("no cross-shard posts counted")
+	}
+	stats := eng.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("want 4 shard stats, got %d", len(stats))
+	}
+	var admitted uint64
+	for i, s := range stats {
+		if s.Admitted == 0 {
+			t.Errorf("shard %d admitted nothing", i)
+		}
+		admitted += s.Admitted
+	}
+	if admitted != eng.EventsRun() {
+		t.Errorf("shard admissions %d != events run %d", admitted, eng.EventsRun())
+	}
+}
+
+// TestShardWorkerRelease pins that ReleaseWorkers folds a populated far
+// domain back into the near heaps mid-run without losing or reordering
+// anything: run halfway, release, run the rest, compare to an
+// uninterrupted run.
+func TestShardWorkerRelease(t *testing.T) {
+	run := func(interrupt bool) []admission {
+		eng := NewEngineSharded(7, 4)
+		eng.SetLookahead(5)
+		var got []admission
+		for i := 0; i < 256; i++ {
+			i := i
+			eng.AtShard(i%4, Time(i*13%997), func() {
+				got = append(got, admission{i, eng.Now(), eng.seq})
+				eng.AtShard((i*7)%4, eng.Now()+Time(50+i%200), func() {
+					got = append(got, admission{1000 + i, eng.Now(), eng.seq})
+				})
+			})
+		}
+		if interrupt {
+			if err := eng.RunUntil(500); err != nil {
+				t.Fatal(err)
+			}
+			eng.ReleaseWorkers() // folds far domains into near heaps
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		eng.ReleaseWorkers()
+		return got
+	}
+	if a, b := run(false), run(true); !reflect.DeepEqual(a, b) {
+		t.Error("mid-run ReleaseWorkers changed the admission order")
+	}
+}
+
+// FuzzShardAdmission feeds arbitrary byte strings in as workload shape
+// (shard count, lookahead, fan-out seed) and checks the K-shard engine
+// against the 1-shard single-heap oracle.
+func FuzzShardAdmission(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3), uint16(100))
+	f.Add(int64(42), uint8(2), uint8(1), uint16(1))
+	f.Add(int64(-7), uint8(8), uint8(15), uint16(499))
+	f.Add(int64(1<<40), uint8(3), uint8(9), uint16(65535))
+	f.Fuzz(func(t *testing.T, seed int64, k, init uint8, la uint16) {
+		shards := int(k)%8 + 1
+		initial := int(init)%16 + 1
+		lookahead := Time(la)%1000 + 1
+		ref := runShardSchedule(1, seed, initial, 300, lookahead)
+		got := runShardSchedule(shards, seed, initial, 300, lookahead)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%d-shard admission diverged from single-heap oracle (seed %d)", shards, seed)
+		}
+	})
+}

@@ -457,12 +457,64 @@ func TestPropertyHeap(t *testing.T) {
 	}
 }
 
+// TestPropertyHeap (above) only checks pop order against the mirror's
+// (at, seq) minimum; with distinct random times ties are rare, so a heap
+// (or a shard merge) that reordered equal timestamps could slip through.
+// This regression pins tiebreak stability directly: all-equal times must
+// pop in exact schedule order, for the raw heap and through a sharded
+// engine whose equal-time events interleave across shards.
+func TestHeapEqualTimeTiebreakStability(t *testing.T) {
+	// Raw heap: N events at one timestamp, pushed interleaved with pops.
+	var h eventHeap
+	var seq uint64
+	var popped []uint64
+	for i := 0; i < 200; i++ {
+		seq++
+		h.push(event{at: 42, seq: seq})
+		if i%3 == 2 {
+			popped = append(popped, h.pop().seq)
+		}
+	}
+	for h.Len() > 0 {
+		popped = append(popped, h.pop().seq)
+	}
+	for i := 1; i < len(popped); i++ {
+		if popped[i] <= popped[i-1] {
+			t.Fatalf("equal-time pops out of schedule order: seq %d after %d",
+				popped[i], popped[i-1])
+		}
+	}
+
+	// Sharded engine: equal-time events scheduled round-robin across
+	// shards from inside an event (so they cross shards) must run in
+	// global schedule order, not per-shard order.
+	for _, shards := range []int{1, 2, 4} {
+		eng := NewEngineSharded(9, shards)
+		var order []int
+		eng.At(10, func() {
+			for i := 0; i < 64; i++ {
+				i := i
+				eng.AtShard(i%shards, eng.Now(), func() { order = append(order, i) })
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		eng.ReleaseWorkers()
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("shards=%d: equal-time cross-shard events reordered: got %v", shards, order)
+			}
+		}
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	e := NewEngine(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.After(Time(i%64), func() {})
-		if e.events.Len() > 1024 {
+		if e.shards[0].near.Len() > 1024 {
 			_ = e.RunUntil(e.Now() + 32)
 		}
 	}

@@ -180,10 +180,17 @@ func (o *Op) reach(stage trace.Stage) {
 // continuation firing can never disagree about when a level was reached.
 // With no callbacks registered and tracing off it is pure bookkeeping:
 // legacy runs stay bit-identical.
+//
+// Lifecycle records and continuation lists are shared across images, so
+// stamping is only legal on the engine's single admission strand — shard
+// workers maintain event queues but never execute callbacks. The assert
+// turns any stray goroutine reaching this choke point into a loud panic
+// instead of a silent race on the trace and metrics state.
 func (m *Machine) opAdvance(o *Op, rank int, stage trace.Stage) {
 	if o == nil {
 		return
 	}
+	m.eng.AssertStrand("op stage advance")
 	m.life.OpStage(o.id, rank, stage, m.eng.Now())
 	o.reach(stage)
 }
