@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-json-quick bench-shards fuzz-smoke profile-smoke continuation-smoke chaos-crash shard-matrix ci figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench bench-json bench-json-quick bench-shards bench-load load-smoke fuzz-smoke profile-smoke continuation-smoke chaos-crash shard-matrix ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -23,6 +23,8 @@ ci: vet build test shard-matrix
 	$(GO) test -race -short ./internal/...
 	$(GO) run ./cmd/benchjson -quick
 	$(GO) run ./cmd/benchjson -shards -quick
+	$(GO) test -race -run 'TestLoadShardEquivalence' ./examples/workloads
+	$(GO) run ./cmd/benchjson -load -quick
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -38,6 +40,21 @@ bench-json-quick:
 # count, bit-identity asserted in every row).
 bench-shards:
 	$(GO) run ./cmd/benchjson -shards -out BENCH_shards.json
+
+# Regenerate the committed service-traffic SLO artifact (KV service
+# under open-loop load: offered load × size × locks-vs-shipping ×
+# coalescing, with a sharded bit-identity re-check per row).
+bench-load:
+	$(GO) run ./cmd/benchjson -load -out BENCH_load.json
+
+# Service-traffic gate: the load generator/histogram property tests, the
+# service workloads (goldens + SLO sanity + crash rows), the SLO-level
+# shard-equivalence matrix under the race detector, and a quick sweep.
+load-smoke:
+	$(GO) test ./internal/load
+	$(GO) test -run 'TestService|TestKVService|TestGoldenReports/kv-|TestGoldenReports/agg-' ./examples/workloads ./internal/chaos
+	$(GO) test -race -run 'TestLoadShardEquivalence' ./examples/workloads
+	$(GO) run ./cmd/benchjson -load -quick
 
 # Traced quickstart driven through the whole observability pipeline:
 # lifecycle tracing + metrics on, profile JSON written, then parsed and

@@ -620,6 +620,19 @@ func (m *Machine) ImageErrors() []*ImageFailedError {
 // ascending (nil when the detector is off or nobody died).
 func (m *Machine) DeadImages() []int { return m.det.DeadRanks() }
 
+// ImageDead reports whether rank has been declared dead by the failure
+// detector (always false with the detector off). Safe to call from
+// inside proc bodies: declarations are engine events, so the answer is
+// deterministic at any given virtual time.
+func (m *Machine) ImageDead(rank int) bool { return m.det.Dead(rank) }
+
+// ImageDeadAt returns rank's declaration time when it has been declared
+// dead (false otherwise, and always with the detector off).
+func (m *Machine) ImageDeadAt(rank int) (Time, bool) { return m.det.DeadAt(rank) }
+
+// AnyImageDead reports whether any image has been declared dead.
+func (m *Machine) AnyImageDead() bool { return m.det.AnyDead() }
+
 // Trace returns the execution-trace recorder, or nil when tracing is
 // disabled. Export with WriteChromeTrace / WriteSummary.
 func (m *Machine) Trace() *trace.Recorder { return m.tracer }

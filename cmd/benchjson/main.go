@@ -4,10 +4,16 @@
 // vs. uncoalesced (the committed BENCH_coalesce.json artifact). The
 // -shards mode runs the shard-count sweep instead — the same workloads
 // across engine shard counts, pinning bit-identity and reporting host
-// wall-clock (the committed BENCH_shards.json artifact).
+// wall-clock (the committed BENCH_shards.json artifact). The -load mode
+// runs the service-traffic SLO sweep — the sharded KV service under
+// open-loop Poisson load across offered load × machine size × protocol
+// (locks vs. function shipping) × coalescing, reporting p50/p99/p999
+// latency and goodput per row with a sharded bit-identity re-check (the
+// committed BENCH_load.json artifact).
 //
 //	go run ./cmd/benchjson -out BENCH_coalesce.json
 //	go run ./cmd/benchjson -shards -out BENCH_shards.json
+//	go run ./cmd/benchjson -load -out BENCH_load.json
 package main
 
 import (
@@ -26,6 +32,7 @@ func main() {
 	quick := flag.Bool("quick", false, "seconds-scale smoke sweep")
 	metrics := flag.Bool("metrics", false, "embed each row's per-image metrics snapshot (coalesce mode)")
 	shards := flag.Bool("shards", false, "run the shard-count sweep instead of the coalescing sweep")
+	loadSweep := flag.Bool("load", false, "run the service-traffic SLO sweep instead of the coalescing sweep")
 	flag.Parse()
 
 	w := os.Stdout
@@ -39,6 +46,30 @@ func main() {
 	}
 
 	wall := time.Now()
+	if *loadSweep {
+		o := bench.DefaultLoad()
+		if *quick {
+			o = bench.SmokeLoad()
+		}
+		rep, err := bench.Load(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("load sweep done in %v wall time", time.Since(wall).Round(time.Millisecond))
+		for cell, ratio := range rep.P99LocksOverShipping {
+			log.Printf("%s: locks p99 = %.2fx function-shipping p99", cell, ratio)
+		}
+		for wl, infl := range rep.TailInflation {
+			log.Printf("%s: p999/p50 = %.2fx at peak load", wl, infl)
+		}
+		if rep.CoalesceMsgReduction > 0 {
+			log.Printf("kv-shipping: %.2fx fewer wire packets with coalescing at peak load", rep.CoalesceMsgReduction)
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *shards {
 		o := bench.DefaultShards()
 		if *quick {

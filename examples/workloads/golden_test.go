@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	caf "caf2go"
+	"caf2go/internal/load"
 )
 
 // -update rewrites the golden files from the current runtime:
@@ -131,6 +132,53 @@ func goldenCases() []goldenCase {
 			cfg := caf.Config{Images: 4, Seed: 1}
 			mod(&cfg)
 			return Transpose(cfg, 16, opts...)
+		}},
+		{"kv-locks", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 11}
+			mod(&cfg)
+			return KVService(cfg, kvGoldenOpts(false), opts...)
+		}},
+		{"kv-shipping", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 11}
+			mod(&cfg)
+			return KVService(cfg, kvGoldenOpts(true), opts...)
+		}},
+		{"kv-shipping-coalesced", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 11, Coalescing: coal}
+			mod(&cfg)
+			return KVService(cfg, kvGoldenOpts(true), opts...)
+		}},
+		{"kv-shipping-mmpp", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			// Pins the bursty MMPP arrival generator end to end: same
+			// mean rate as kv-shipping, very different tail.
+			cfg := caf.Config{Images: 8, Seed: 11}
+			mod(&cfg)
+			o := kvGoldenOpts(true)
+			o.Arrival = load.MMPP
+			return KVService(cfg, o, opts...)
+		}},
+		{"agg-service", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			cfg := caf.Config{Images: 8, Seed: 11}
+			mod(&cfg)
+			return AggService(cfg, aggGoldenOpts(false), opts...)
+		}},
+		{"agg-service-crashed", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			// Server rank 1 dies mid-traffic; the service fails over
+			// sub-queries to surviving shards and the resilient finish
+			// surfaces the typed error. Pins request outcomes, failover
+			// counts, the SLO digest through failure, and the machine's
+			// failure counters.
+			cfg := caf.Config{
+				Images: 8,
+				Seed:   11,
+				Faults: &caf.FaultPlan{
+					Seed:  11,
+					Crash: map[int]caf.Time{1: 150 * caf.Microsecond},
+				},
+				FailureDetector: caf.FailureDetectorConfig{Enabled: true, Heartbeat: 2 * caf.Microsecond},
+			}
+			mod(&cfg)
+			return AggService(cfg, aggGoldenOpts(true), opts...)
 		}},
 		{"crashed-finish", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
 			// Image 1's NIC dies mid-task-graph; the detector declares

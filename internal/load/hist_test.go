@@ -1,0 +1,128 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference nearest-rank quantile over the sorted
+// sample set.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileBoundedError: p50/p99/p999 estimates against
+// exact sorted-sample quantiles on random workloads drawn from the
+// latency-like distributions the collector feeds it. The log-linear
+// layout guarantees every bucket representative is within 2^-7 of any
+// value in the bucket; the nearest-rank estimate may additionally land
+// one bucket off the exact rank when duplicates straddle a boundary, so
+// the acceptance bound is a 1% relative error (plus 1ns absolute floor).
+func TestHistogramQuantileBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	distros := []struct {
+		name string
+		draw func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(10_000_000) }},
+		{"exponential", func() int64 { return int64(rng.ExpFloat64() * 50_000) }},
+		{"lognormal", func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 10)) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return 1_000_000 + rng.Int63n(1_000_000)
+			}
+			return 1_000 + rng.Int63n(1_000)
+		}},
+		{"tiny", func() int64 { return rng.Int63n(100) }},
+	}
+	for _, d := range distros {
+		for trial := 0; trial < 10; trial++ {
+			n := 100 + rng.Intn(10_000)
+			h := NewHistogram()
+			samples := make([]int64, n)
+			for i := range samples {
+				v := d.draw()
+				samples[i] = v
+				h.Observe(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+				got := h.Quantile(q)
+				want := exactQuantile(samples, q)
+				tol := int64(float64(want)*0.01) + 1
+				if got < want-tol || got > want+tol {
+					t.Errorf("%s n=%d q=%g: got %d, want %d ± %d", d.name, n, q, got, want, tol)
+				}
+			}
+			if h.Count() != int64(n) {
+				t.Fatalf("%s: count %d, want %d", d.name, h.Count(), n)
+			}
+			if h.Max() != samples[n-1] || h.Min() != samples[0] {
+				t.Fatalf("%s: min/max %d/%d, want %d/%d", d.name, h.Min(), h.Max(), samples[0], samples[n-1])
+			}
+		}
+	}
+}
+
+// TestHistogramEdgeCases is the empty/one-sample regression: an empty
+// histogram reports zeros everywhere, and a single-sample histogram
+// reports that sample exactly at every quantile (the [min,max] clamp
+// collapses the bucket midpoint onto the sample).
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Quantile(0.999) != 0 ||
+		h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d p50=%d max=%d", h.Count(), h.Quantile(0.5), h.Max())
+	}
+	for _, v := range []int64{0, 1, 127, 128, 12_345, math.MaxInt64} {
+		h := NewHistogram()
+		h.Observe(v)
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Fatalf("single sample %d: Quantile(%g) = %d", v, q, got)
+			}
+		}
+		if h.Mean() != v || h.Min() != v || h.Max() != v {
+			t.Fatalf("single sample %d: mean/min/max %d/%d/%d", v, h.Mean(), h.Min(), h.Max())
+		}
+	}
+	// Negative observations clamp to zero rather than corrupting state.
+	h = NewHistogram()
+	h.Observe(-5)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative clamp: count=%d p50=%d", h.Count(), h.Quantile(0.5))
+	}
+}
+
+// TestHistogramBuckets pins the index/bounds round trip across octave
+// boundaries and the full int64 range.
+func TestHistogramBuckets(t *testing.T) {
+	values := []int64{0, 1, 127, 128, 255, 256, 257, 1 << 20, (1 << 20) + 3, math.MaxInt64}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10_000; i++ {
+		values = append(values, rng.Int63())
+	}
+	for _, v := range values {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histSize {
+			t.Fatalf("value %d: index %d out of range", v, idx)
+		}
+		lo, w := histBounds(idx)
+		// v-lo avoids int64 overflow in the top octave's lo+w.
+		if v < lo || v-lo >= w {
+			t.Fatalf("value %d: bucket [%d, +%d) does not contain it", v, lo, w)
+		}
+		if w > 1 && float64(w)/float64(lo) > 1.0/64 {
+			t.Fatalf("value %d: bucket width %d too coarse for lo %d", v, w, lo)
+		}
+	}
+}
