@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-json-quick bench-shards bench-load load-smoke fuzz-smoke profile-smoke continuation-smoke chaos-crash shard-matrix ci figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench bench-json bench-json-quick bench-shards bench-load bench-recovery load-smoke fuzz-smoke profile-smoke continuation-smoke chaos-crash chaos-recover shard-matrix ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -25,6 +25,7 @@ ci: vet build test shard-matrix
 	$(GO) run ./cmd/benchjson -shards -quick
 	$(GO) test -race -run 'TestLoadShardEquivalence' ./examples/workloads
 	$(GO) run ./cmd/benchjson -load -quick
+	$(GO) run ./cmd/benchjson -recovery -quick
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -46,6 +47,12 @@ bench-shards:
 # coalescing, with a sharded bit-identity re-check per row).
 bench-load:
 	$(GO) run ./cmd/benchjson -load -out BENCH_load.json
+
+# Regenerate the committed crash-recovery artifact (KV service with a
+# mid-traffic primary crash: heartbeat × size × replication on/off,
+# zero-loss and crash-to-commit headlines, sharded bit-identity per row).
+bench-recovery:
+	$(GO) run ./cmd/benchjson -recovery -out BENCH_recovery.json
 
 # Service-traffic gate: the load generator/histogram property tests, the
 # service workloads (goldens + SLO sanity + crash rows), the SLO-level
@@ -82,6 +89,16 @@ fuzz-smoke:
 # (legacy deadlock pinned), plus the resilient-finish property tests.
 chaos-crash:
 	$(GO) test -run 'Crash|DetectorOn|Resilient' -v ./internal/chaos ./internal/core .
+
+# Recovery gate: the replication manager/table unit tests, the
+# replicated-coarray mirror/failover tests, the KV recovery chaos suite
+# (zero loss, bounded tail, back-to-back and mid-recovery crashes,
+# bit-identity), and the replicated shard-equivalence row under -race.
+chaos-recover:
+	$(GO) test ./internal/repl
+	$(GO) test -run 'TestReplCoarray|TestReplication' -v .
+	$(GO) test -run 'TestKVRecover' -v ./internal/chaos
+	$(GO) test -race -run 'TestLoadShardEquivalence/kv-replicated' ./examples/workloads
 
 # Shard-determinism gate, all under the race detector: the admission
 # oracle and worker-protocol tests, the sharded chaos / resilient-finish

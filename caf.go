@@ -35,6 +35,7 @@ import (
 	"caf2go/internal/metrics"
 	"caf2go/internal/prof"
 	"caf2go/internal/race"
+	"caf2go/internal/repl"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
 	"caf2go/internal/team"
@@ -180,7 +181,25 @@ type Config struct {
 	// and RPCs abort their image with an ImageFailedError (fail-stop).
 	// The zero value keeps runs bit-identical to builds without it.
 	FailureDetector FailureDetectorConfig
+	// Replication, when Enabled, turns on primary-backup replication of
+	// replicated coarrays (NewReplCoarray): writes are asynchronously
+	// mirrored to a deterministic backup rank, and — when the failure
+	// detector is also enabled — a committed failure declaration runs an
+	// epoch-bump agreement over the surviving team, promotes backups,
+	// and rewrites routing so in-flight requests can be replayed against
+	// the new primary instead of erroring. The zero value keeps runs
+	// bit-identical to builds without replication.
+	Replication ReplicationConfig
 }
+
+// ReplicationConfig re-exports the primary-backup replication
+// configuration (internal/repl.Config) so callers configure recovery
+// without importing internal packages.
+type ReplicationConfig = repl.Config
+
+// ReplStats re-exports the epoch manager's recovery accounting
+// (internal/repl.Stats), surfaced by Machine.ReplStats.
+type ReplStats = repl.Stats
 
 // Machine is a configured simulated cluster. Most programs use Run; the
 // benchmark harness builds a Machine directly to inspect stats.
@@ -206,6 +225,10 @@ type Machine struct {
 	det        *failure.Detector
 	imgErrs    []*failure.ImageFailedError // first abort per image
 	opsAborted int64
+
+	// Epoch manager for primary-backup recovery (nil unless
+	// Config.Replication.Enabled and the failure detector is live).
+	repl *repl.Manager
 }
 
 // imageState is per-image state shared by every proc running on that
@@ -305,6 +328,13 @@ func NewMachine(cfg Config) *Machine {
 		m.plane.SetDetector(m.det)
 		m.imgErrs = make([]*failure.ImageFailedError, cfg.Images)
 		m.det.Subscribe(m.onImageDeath)
+	}
+	if m.repl = repl.NewManager(eng, m.det, cfg.Images, cfg.Replication); m.repl != nil {
+		m.repl.Subscribe(func(epoch int, _ sim.Time) {
+			m.met.Counter("repl_epochs_total", "committed epoch-bump agreements").Add(0, 1)
+		})
+		// Parked clients re-evaluate routes at the new epoch.
+		m.repl.SetWake(eng.WakeAllParked)
 	}
 	if cfg.DetectConflicts {
 		m.conflicts = &conflictState{}
@@ -632,6 +662,41 @@ func (m *Machine) ImageDeadAt(rank int) (Time, bool) { return m.det.DeadAt(rank)
 
 // AnyImageDead reports whether any image has been declared dead.
 func (m *Machine) AnyImageDead() bool { return m.det.AnyDead() }
+
+// Epoch returns the committed recovery epoch: 0 before any failure has
+// been agreed on (and always 0 with replication off). The epoch bumps
+// atomically — at one virtual instant, for every image — when the
+// shrink-and-recover agreement commits a set of declared deaths.
+func (m *Machine) Epoch() int { return m.repl.Epoch() }
+
+// DeathCommitted reports whether rank's death has been *committed* by
+// an epoch agreement, as opposed to merely declared by the detector.
+// Routing moves past a dead rank — and in-flight requests may be safely
+// replayed against its backup — only once its death is committed.
+func (m *Machine) DeathCommitted(rank int) bool { return m.repl.Committed(rank) }
+
+// ReplicaOf returns the world rank holding rank's backup copy under the
+// default whole-machine placement (the next rank on the world ring), or
+// -1 when replication is off or the machine has a single image.
+// Replicated coarrays allocated over an explicit chain use the chain's
+// own ring instead (ReplCoarray.Backup).
+func (m *Machine) ReplicaOf(rank int) int {
+	if m.repl == nil || m.cfg.Images < 2 {
+		return -1
+	}
+	return (rank + 1) % m.cfg.Images
+}
+
+// ReplStats snapshots the epoch manager's recovery accounting (zero
+// value with replication off).
+func (m *Machine) ReplStats() ReplStats { return m.repl.Stats() }
+
+// SubscribeEpoch registers fn to run inside the engine at every epoch
+// commit, after routing state has been rewritten. Inert with
+// replication off.
+func (m *Machine) SubscribeEpoch(fn func(epoch int, at Time)) {
+	m.repl.Subscribe(func(epoch int, at sim.Time) { fn(epoch, at) })
+}
 
 // Trace returns the execution-trace recorder, or nil when tracing is
 // disabled. Export with WriteChromeTrace / WriteSummary.

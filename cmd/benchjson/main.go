@@ -9,11 +9,16 @@
 // open-loop Poisson load across offered load × machine size × protocol
 // (locks vs. function shipping) × coalescing, reporting p50/p99/p999
 // latency and goodput per row with a sharded bit-identity re-check (the
-// committed BENCH_load.json artifact).
+// committed BENCH_load.json artifact). The -recovery mode runs the
+// crash-recovery sweep — the KV service with a mid-traffic primary
+// crash across detector heartbeat × machine size × replication on/off,
+// reporting lost vs. replayed requests and the crash-to-commit latency
+// (the committed BENCH_recovery.json artifact).
 //
 //	go run ./cmd/benchjson -out BENCH_coalesce.json
 //	go run ./cmd/benchjson -shards -out BENCH_shards.json
 //	go run ./cmd/benchjson -load -out BENCH_load.json
+//	go run ./cmd/benchjson -recovery -out BENCH_recovery.json
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "embed each row's per-image metrics snapshot (coalesce mode)")
 	shards := flag.Bool("shards", false, "run the shard-count sweep instead of the coalescing sweep")
 	loadSweep := flag.Bool("load", false, "run the service-traffic SLO sweep instead of the coalescing sweep")
+	recovery := flag.Bool("recovery", false, "run the crash-recovery sweep instead of the coalescing sweep")
 	flag.Parse()
 
 	w := os.Stdout
@@ -46,6 +52,27 @@ func main() {
 	}
 
 	wall := time.Now()
+	if *recovery {
+		o := bench.DefaultRecovery()
+		if *quick {
+			o = bench.SmokeRecovery()
+		}
+		rep, err := bench.Recovery(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recovery sweep done in %v wall time", time.Since(wall).Round(time.Millisecond))
+		for cell, lost := range rep.LostWithoutReplication {
+			log.Printf("%s: %d lost without replication, %d with", cell, lost, rep.LostWithReplication[cell])
+		}
+		for hb, us := range rep.RecoveryUsByHeartbeat {
+			log.Printf("%s: crash-to-commit %.1fµs", hb, us)
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *loadSweep {
 		o := bench.DefaultLoad()
 		if *quick {

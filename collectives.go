@@ -1,6 +1,8 @@
 package caf
 
 import (
+	"fmt"
+
 	"caf2go/internal/collect"
 	"caf2go/internal/core"
 	"caf2go/internal/race"
@@ -447,7 +449,14 @@ func (img *Image) TeamSplit(parent *Team, color, key int) *Team {
 			colors[specs[i].Color] = true
 		}
 		base := img.m.reserveTeamIDs(len(colors))
-		result = team.Split(parent, specs, base)
+		var err error
+		result, err = team.Split(parent, specs, base)
+		if err != nil {
+			// Every member of a live parent team contributed exactly one
+			// spec via the gather above, so a typed split error here is a
+			// runtime invariant violation, not a user mistake.
+			panic(fmt.Sprintf("caf: team split failed: %v", err))
+		}
 	}
 	shared := img.Broadcast(parent, 0, result, 16*parent.Size()).(map[int]*Team)
 	return shared[color]

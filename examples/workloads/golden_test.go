@@ -157,6 +157,40 @@ func goldenCases() []goldenCase {
 			o.Arrival = load.MMPP
 			return KVService(cfg, o, opts...)
 		}},
+		{"kv-replicated", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			// Healthy replicated run: pins the mirror-write traffic and
+			// the unchanged SLO (epoch stays 0, nothing is replayed).
+			cfg := caf.Config{
+				Images:          8,
+				Seed:            11,
+				Replication:     caf.ReplicationConfig{Enabled: true},
+				FailureDetector: caf.FailureDetectorConfig{Enabled: true, Heartbeat: 2 * caf.Microsecond},
+			}
+			mod(&cfg)
+			o := kvGoldenOpts(true)
+			o.Replicated = true
+			return KVService(cfg, o, opts...)
+		}},
+		{"kv-replicated-crash", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
+			// Server rank 1 dies mid-traffic; the epoch agreement commits,
+			// rank 2's mirror is promoted, and every stranded request is
+			// replayed instead of lost. Pins the whole recovery path:
+			// zero failures, replay count, failover count, epoch stats.
+			cfg := caf.Config{
+				Images: 8,
+				Seed:   11,
+				Faults: &caf.FaultPlan{
+					Seed:  11,
+					Crash: map[int]caf.Time{1: 80 * caf.Microsecond},
+				},
+				Replication:     caf.ReplicationConfig{Enabled: true},
+				FailureDetector: caf.FailureDetectorConfig{Enabled: true, Heartbeat: 2 * caf.Microsecond},
+			}
+			mod(&cfg)
+			o := kvGoldenOpts(true)
+			o.Replicated = true
+			return KVService(cfg, o, opts...)
+		}},
 		{"agg-service", func(mod func(*caf.Config), opts ...RunOpt) (Result, error) {
 			cfg := caf.Config{Images: 8, Seed: 11}
 			mod(&cfg)

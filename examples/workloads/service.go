@@ -28,6 +28,14 @@ type ServiceOpts struct {
 	// Shipping selects function-shipped KV access; false uses
 	// lock + get/put one-sided round trips.
 	Shipping bool
+	// Replicated puts the KV table in a primary-backup ReplCoarray over
+	// the server chain: every write is mirrored to the next server, and
+	// with cfg.Replication + the failure detector enabled, requests
+	// stranded by a crash are *replayed* against the promoted backup
+	// after the epoch commit instead of failed — zero lost requests for
+	// a single crash per replica group. Requires Shipping (the lock
+	// protocol has no owner to mirror from).
+	Replicated bool
 	// FanOut is AggService's sub-requests per request (default
 	// min(3, Servers)).
 	FanOut int
@@ -46,6 +54,9 @@ type ServiceOpts struct {
 	// SLOOut, when non-nil, receives the run's SLO report (used by the
 	// chaos and bench harnesses, which need numbers, not digests).
 	SLOOut *load.SLO
+	// ReplOut, when non-nil, receives the machine's recovery accounting
+	// (epoch, promotions, agreement rounds) after a Replicated run.
+	ReplOut *caf.ReplStats
 }
 
 func (o *ServiceOpts) serviceDefaults(images int) (servers, clients int, err error) {
@@ -120,19 +131,80 @@ func KVService(cfg caf.Config, o ServiceOpts, opts ...RunOpt) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if o.Replicated {
+		if !o.Shipping {
+			return Result{}, errors.New("kv: Replicated requires Shipping (the lock protocol has no owner to mirror from)")
+		}
+		if !cfg.Replication.Enabled {
+			return Result{}, errors.New("kv: Replicated requires cfg.Replication.Enabled")
+		}
+	}
 	slots := (o.Keys + servers - 1) / servers
 	sched := o.arrivals(cfg.Seed, clients)
 	col := load.NewCollector("kv request", sched)
 	var readSum int64
+	var mach *caf.Machine
+	opts = append(opts, CaptureMachine(&mach))
 
 	rep, err := run(cfg, opts, func(img *caf.Image) {
 		me := img.Rank()
-		table := caf.NewCoarray[int64](img, nil, slots)
+		var table *caf.Coarray[int64]
+		var rtab *caf.ReplCoarray[int64]
+		if o.Replicated {
+			chain := make([]int, servers)
+			for i := range chain {
+				chain[i] = i
+			}
+			rtab = caf.NewReplCoarray[int64](img, nil, slots, chain)
+		} else {
+			table = caf.NewCoarray[int64](img, nil, slots)
+		}
 		img.Barrier(nil)
 		if me < servers {
 			return // shards are passive hosts; handlers run on them via AMs
 		}
 		m := img.Machine()
+
+		issueReplicated := func(d *load.Driver, r load.Request) {
+			home := int(r.Key % uint64(servers))
+			slot := int((r.Key / uint64(servers)) % uint64(slots))
+			srv := rtab.Serving(home)
+			if srv < 0 {
+				// The whole replica group is committed dead: the shard's
+				// data is gone and the request fails typed.
+				col.Issued(m, r, me, home)
+				col.FailDead(m, img.Now(), r.Seq, home)
+				return
+			}
+			col.Issued(m, r, me, srv)
+			if srv != home {
+				col.Failover(m, me)
+			}
+			if m.ImageDead(srv) {
+				// Declared but not yet committed: routing hasn't moved, so
+				// hold the request pending — the Replay pass re-issues it
+				// against the promoted backup at the epoch commit.
+				return
+			}
+			seq, key, write := r.Seq, int64(r.Key), r.Write
+			img.Spawn(srv, func(s *caf.Image) {
+				s.Compute(o.SvcTime)
+				// Apply routes to whichever copy s serves and is
+				// exactly-once per (home, seq): a replayed request whose
+				// original executed before the crash gets the mirrored
+				// ledger value, not a second application.
+				v := rtab.Apply(s, home, seq, slot, func(cur int64) int64 {
+					if write {
+						return cur + key
+					}
+					return cur
+				})
+				s.Spawn(me, func(c *caf.Image) {
+					readSum += v
+					col.Done(c.Machine(), c.Now(), seq)
+				}, caf.WithBytes(16))
+			}, caf.WithBytes(24))
+		}
 
 		issue := func(d *load.Driver, r load.Request) {
 			srv := int(r.Key % uint64(servers))
@@ -182,6 +254,13 @@ func KVService(cfg caf.Config, o ServiceOpts, opts ...RunOpt) (Result, error) {
 				})
 			}
 		}
+		if o.Replicated {
+			// Replay instead of Reconcile: a committed death re-issues
+			// stranded requests rather than failing them.
+			load.Drive(img, me-servers, sched, col,
+				load.DriveOpts{Tick: o.Tick, Replay: true}, issueReplicated)
+			return
+		}
 		load.Drive(img, me-servers, sched, col,
 			load.DriveOpts{Tick: o.Tick, Reconcile: true}, issue)
 	})
@@ -199,6 +278,17 @@ func KVService(cfg caf.Config, o ServiceOpts, opts ...RunOpt) (Result, error) {
 	variant := "locks"
 	if o.Shipping {
 		variant = "shipping"
+	}
+	if o.Replicated {
+		rs := mach.ReplStats()
+		if o.ReplOut != nil {
+			*o.ReplOut = rs
+		}
+		return Result{
+			Report: rep,
+			Check: fmt.Sprintf("kv-replicated readSum=%d epoch=%d promo=%d slo{%s}",
+				readSum, rs.Epoch, rs.Promotions, slo.Digest()),
+		}, nil
 	}
 	return Result{
 		Report: rep,

@@ -137,6 +137,23 @@ func TestLoadShardEquivalence(t *testing.T) {
 			res, err := KVService(cfg, o)
 			return res, slo, err
 		}},
+		{"kv-replicated-crashed", func(shards int) (Result, load.SLO, error) {
+			// The full recovery pipeline — mirror writes, epoch
+			// agreement, promotion, request replay — must also be
+			// bit-identical across the shard × GOMAXPROCS matrix.
+			var slo load.SLO
+			o := kvGoldenOpts(true)
+			o.Replicated = true
+			o.SLOOut = &slo
+			cfg := caf.Config{
+				Images: 8, Seed: 11, Shards: shards,
+				Faults:          &caf.FaultPlan{Crash: map[int]caf.Time{1: 150 * caf.Microsecond}},
+				Replication:     caf.ReplicationConfig{Enabled: true},
+				FailureDetector: caf.FailureDetectorConfig{Enabled: true, Heartbeat: 2 * caf.Microsecond},
+			}
+			res, err := KVService(cfg, o)
+			return res, slo, err
+		}},
 		{"agg-service", func(shards int) (Result, load.SLO, error) {
 			var slo load.SLO
 			o := aggGoldenOpts(false)

@@ -30,13 +30,15 @@ type Result struct {
 // RunOpt configures how a workload drives its machine.
 type RunOpt func(*runOpts)
 
-type runOpts struct{ machine **caf.Machine }
+type runOpts struct{ machines []**caf.Machine }
 
 // CaptureMachine stores the workload's machine in *dst before launch, so
 // the caller can pull its trace, lifecycle profile, and metrics after the
-// run completes (the machine outlives RunToCompletion).
+// run completes (the machine outlives RunToCompletion). Multiple
+// captures compose — workloads register their own alongside the
+// caller's.
 func CaptureMachine(dst **caf.Machine) RunOpt {
-	return func(o *runOpts) { o.machine = dst }
+	return func(o *runOpts) { o.machines = append(o.machines, dst) }
 }
 
 // run is caf.Run plus RunOpt handling, shared by every workload.
@@ -46,8 +48,8 @@ func run(cfg caf.Config, opts []RunOpt, main func(img *caf.Image)) (caf.Report, 
 		opt(&o)
 	}
 	m := caf.NewMachine(cfg)
-	if o.machine != nil {
-		*o.machine = m
+	for _, dst := range o.machines {
+		*dst = m
 	}
 	m.Launch(main)
 	rep, err := m.RunToCompletion()

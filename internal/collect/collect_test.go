@@ -268,7 +268,10 @@ func TestSubteamCollectives(t *testing.T) {
 	for i := 0; i < n; i++ {
 		specs[i] = team.SplitSpec{World: i, Color: i % 2, Key: i}
 	}
-	teams := team.Split(w, specs, 1)
+	teams, err := team.Split(w, specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < n; i++ {
 		img := k.Image(i)
 		img.Go("main", func(p *sim.Proc) {

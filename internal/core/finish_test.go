@@ -258,7 +258,10 @@ func TestSubteamFinish(t *testing.T) {
 	for i := 0; i < n; i++ {
 		specs[i] = team.SplitSpec{World: i, Color: i % 2, Key: i}
 	}
-	teams := team.Split(w, specs, 1)
+	teams, err := team.Split(w, specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	k.RegisterHandler(tagSpawn, func(d *rt.Delivery) {})
 	done := 0
 	for i := 0; i < n; i++ {

@@ -153,13 +153,20 @@ func (d *Detector) declare(rank int, at sim.Time) {
 }
 
 // Subscribe registers fn to run (inside the engine, at declaration
-// time) for every death declared after this call. Must be called
-// before the run starts to see all declarations.
+// time) for every death declared after this call. A late subscriber —
+// one constructed after some deaths have already been declared, such as
+// a recovery component built mid-run — is caught up immediately: every
+// already-declared death is replayed synchronously, in rank order, with
+// its original declaration time, before Subscribe returns. Components
+// therefore never miss a declaration regardless of when they attach.
 func (d *Detector) Subscribe(fn func(rank int, at sim.Time)) {
 	if d == nil {
 		return
 	}
 	d.subs = append(d.subs, fn)
+	for _, r := range d.DeadRanks() {
+		fn(r, d.dead[r])
+	}
 }
 
 // Dead reports whether rank has been declared dead. Safe on a nil

@@ -79,6 +79,50 @@ func TestLeaseExpiryDeterminism(t *testing.T) {
 	}
 }
 
+// TestLateSubscriberReplay: a subscriber attached after declarations
+// have fired is caught up synchronously — every already-declared death
+// replays in rank order with its original declaration time — and still
+// sees declarations that land after it attached, exactly once each.
+func TestLateSubscriberReplay(t *testing.T) {
+	eng := sim.NewEngine(5)
+	crash := map[int]sim.Time{
+		3: 10 * sim.Microsecond,
+		1: 20 * sim.Microsecond,
+		6: 400 * sim.Microsecond,
+	}
+	cfg := Config{Enabled: true, Heartbeat: 10 * sim.Microsecond, Lease: 5 * sim.Microsecond}
+	d := New(eng, 8, cfg, crash)
+
+	type decl struct {
+		rank int
+		at   sim.Time
+	}
+	var got []decl
+	// Attach mid-run, after ranks 3 and 1 are declared (at 15us and
+	// 25us) but before rank 6 (at 405us).
+	eng.At(100*sim.Microsecond, func() {
+		d.Subscribe(func(rank int, at sim.Time) {
+			got = append(got, decl{rank, at})
+		})
+		// The replay is synchronous: both past declarations must be
+		// visible before Subscribe's caller regains control.
+		if len(got) != 2 {
+			t.Errorf("late Subscribe replayed %d declarations, want 2", len(got))
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []decl{
+		{1, 25 * sim.Microsecond}, // replayed in rank order, not declaration order
+		{3, 15 * sim.Microsecond},
+		{6, 405 * sim.Microsecond}, // live declaration after attach, exactly once
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("late subscriber saw %v, want %v", got, want)
+	}
+}
+
 // TestDeadRanksSortedAndQueries: post-run query surface.
 func TestDeadRanksSortedAndQueries(t *testing.T) {
 	eng := sim.NewEngine(3)

@@ -34,6 +34,7 @@ type Collector struct {
 	completed int64
 	failed    int64
 	failovers int64
+	replayed  int64
 	lostTo    map[int]int64 // failed requests by blamed dead rank
 
 	first    caf.Time // scheduled span of the arrival process
@@ -155,6 +156,39 @@ func (c *Collector) ReconcileDead(m *caf.Machine, now caf.Time, client int) int 
 	return len(seqs)
 }
 
+// ReplayDead withdraws (and returns, in seq order) every outstanding
+// request of client whose target's death has been *committed* by the
+// replication epoch agreement. Unlike ReconcileDead this is not a loss:
+// the caller re-issues each returned request against the promoted
+// backup, where the replicated coarray's applied ledger makes the
+// replay exactly-once even if the original request executed before the
+// crash. Requests to a merely *declared* dead rank stay pending —
+// routing hasn't moved yet, so a replay would have nowhere safe to go.
+func (c *Collector) ReplayDead(m *caf.Machine, client int) []Request {
+	if c.perClient[client] == 0 || !m.AnyImageDead() {
+		return nil
+	}
+	var seqs []int
+	for seq, p := range c.pend {
+		if p.client == client && m.DeathCommitted(p.target) {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	sort.Ints(seqs)
+	out := make([]Request, 0, len(seqs))
+	for _, seq := range seqs {
+		out = append(out, c.pend[seq].r)
+		delete(c.pend, seq)
+		c.perClient[client]--
+		c.replayed++
+	}
+	m.Metrics().Counter("load_requests_replayed_total", "in-flight requests re-issued against a promoted backup after an epoch commit").Add(client, int64(len(seqs)))
+	return out
+}
+
 // Settled reports whether every scheduled request has a final outcome.
 func (c *Collector) Settled() bool { return c.completed+c.failed == c.requests }
 
@@ -166,6 +200,9 @@ type SLO struct {
 	Completed int64
 	Failed    int64
 	Failovers int64
+	// Replayed counts requests re-issued against a promoted backup
+	// after an epoch commit (0 with replication off).
+	Replayed int64 `json:",omitempty"`
 	// LostTo counts failed requests by the dead rank blamed.
 	LostTo map[int]int64 `json:",omitempty"`
 	// Latency quantiles over *completed* requests, measured from
@@ -190,6 +227,7 @@ func (c *Collector) SLO() SLO {
 		Completed: c.completed,
 		Failed:    c.failed,
 		Failovers: c.failovers,
+		Replayed:  c.replayed,
 		P50:       caf.Time(c.hist.Quantile(0.50)),
 		P99:       caf.Time(c.hist.Quantile(0.99)),
 		P999:      caf.Time(c.hist.Quantile(0.999)),
@@ -228,11 +266,17 @@ func (s SLO) Digest() string {
 		}
 		lost = strings.Join(parts, ",")
 	}
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"req=%d done=%d fail=%d over=%d p50=%d p99=%d p999=%d max=%d mean=%d dur=%d off=%.6g good=%.6g lost=[%s]",
 		s.Requests, s.Completed, s.Failed, s.Failovers,
 		int64(s.P50), int64(s.P99), int64(s.P999), int64(s.MaxLat), s.MeanNS,
 		int64(s.Duration), s.OfferedRPS, s.GoodputRPS, lost)
+	// Appended only when replays happened, so replication-off digests —
+	// pinned byte-for-byte by pre-replication goldens — are unchanged.
+	if s.Replayed > 0 {
+		line += fmt.Sprintf(" replay=%d", s.Replayed)
+	}
+	return line
 }
 
 // Protect runs fn, converting a failure.Abort unwind from any blocking

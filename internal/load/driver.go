@@ -32,6 +32,13 @@ type DriveOpts struct {
 	// crash window); leave off for protocols whose continuations always
 	// fire, such as spawn ops observed via OnGlobalCompletion.
 	Reconcile bool
+	// Replay enables the per-tick ReplayDead pass: outstanding requests
+	// whose target's death has been committed by the replication epoch
+	// agreement are withdrawn and re-issued (through the same Issuer)
+	// instead of failed — the issuer routes them to the promoted backup.
+	// Use with replicated services; composes with Reconcile (replay
+	// first, then reconcile what still has no live route).
+	Replay bool
 	// GiveUpAfter bounds how long the loop will spin with outstanding
 	// requests and no progress before panicking with a diagnostic
 	// (default 1 virtual second). A deterministic loud failure beats a
@@ -80,6 +87,11 @@ func Drive(img *caf.Image, client int, sched []Request, col *Collector, o DriveO
 			issue(d, r)
 		}
 		d.PS.Poll()
+		if o.Replay {
+			for _, r := range col.ReplayDead(m, me) {
+				issue(d, r)
+			}
+		}
 		if o.Reconcile {
 			col.ReconcileDead(m, now, me)
 		}

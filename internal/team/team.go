@@ -6,9 +6,24 @@
 package team
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrEmptyTeam is the typed error returned when a team derivation would
+// produce a team with no members — excluding every rank from Without,
+// or splitting an empty parent. A zero-member team is unusable (no rank
+// 0 to root collectives on, nothing to route over), so derivations
+// refuse to mint one.
+var ErrEmptyTeam = errors.New("team: derivation leaves no members")
+
+// SplitError is the typed error Split returns for an invalid
+// contribution set: missing or duplicate members, or specs naming
+// non-members.
+type SplitError struct{ Reason string }
+
+func (e *SplitError) Error() string { return "team: invalid split: " + e.Reason }
 
 // Team is an immutable ordered set of world ranks. Rank i of the team is
 // Members()[i]. All images in a team hold the same Team value.
@@ -100,7 +115,9 @@ func (t *Team) String() string {
 // folded in) so it never collides with ids minted by Split; callers
 // that only iterate Members need not care. Excluded ranks that are not
 // members are ignored; if nothing is excluded, t itself is returned.
-func (t *Team) Without(exclude ...int) *Team {
+// Excluding every member returns ErrEmptyTeam instead of an unusable
+// zero-member team (errors.Is-matchable; the *Team is nil).
+func (t *Team) Without(exclude ...int) (*Team, error) {
 	drop := make(map[int]bool, len(exclude))
 	hash := int64(0)
 	for _, w := range exclude {
@@ -110,7 +127,10 @@ func (t *Team) Without(exclude ...int) *Team {
 		}
 	}
 	if len(drop) == 0 {
-		return t
+		return t, nil
+	}
+	if len(drop) == len(t.members) {
+		return nil, fmt.Errorf("%w (excluded all %d members of team %d)", ErrEmptyTeam, len(t.members), t.id)
 	}
 	members := make([]int, 0, len(t.members)-len(drop))
 	for _, w := range t.members {
@@ -118,7 +138,7 @@ func (t *Team) Without(exclude ...int) *Team {
 			members = append(members, w)
 		}
 	}
-	return New(t.id|1<<62|hash<<32&0x3FFF_FFFF_0000_0000, members)
+	return New(t.id|1<<62|hash<<32&0x3FFF_FFFF_0000_0000, members), nil
 }
 
 // SplitSpec is one image's (color, key) contribution to a team_split.
@@ -132,19 +152,26 @@ type SplitSpec struct {
 // team_split. It returns one new team per distinct color, keyed by color.
 // Team ids are derived deterministically from baseID and the color's index
 // in sorted color order, so every image computes identical ids. Every
-// member of parent must appear in specs exactly once.
-func Split(parent *Team, specs []SplitSpec, baseID int64) map[int]*Team {
+// member of parent must appear in specs exactly once; violations return
+// a typed *SplitError, and splitting an empty parent returns
+// ErrEmptyTeam (both instead of the historical panics, so resilient
+// protocols deriving teams from a shrinking survivor set can handle the
+// degenerate cases).
+func Split(parent *Team, specs []SplitSpec, baseID int64) (map[int]*Team, error) {
+	if parent.Size() == 0 {
+		return nil, fmt.Errorf("%w (split of empty parent team %d)", ErrEmptyTeam, parent.id)
+	}
 	if len(specs) != parent.Size() {
-		panic(fmt.Sprintf("team: split of %v got %d specs", parent, len(specs)))
+		return nil, &SplitError{Reason: fmt.Sprintf("split of %v got %d specs", parent, len(specs))}
 	}
 	seen := make(map[int]bool, len(specs))
 	byColor := make(map[int][]SplitSpec)
 	for _, s := range specs {
 		if !parent.Contains(s.World) {
-			panic(fmt.Sprintf("team: split spec for non-member %d", s.World))
+			return nil, &SplitError{Reason: fmt.Sprintf("spec for non-member %d", s.World)}
 		}
 		if seen[s.World] {
-			panic(fmt.Sprintf("team: duplicate split spec for %d", s.World))
+			return nil, &SplitError{Reason: fmt.Sprintf("duplicate spec for %d", s.World)}
 		}
 		seen[s.World] = true
 		byColor[s.Color] = append(byColor[s.Color], s)
@@ -169,7 +196,7 @@ func Split(parent *Team, specs []SplitSpec, baseID int64) map[int]*Team {
 		}
 		out[c] = New(baseID+int64(ci), members)
 	}
-	return out
+	return out, nil
 }
 
 // HypercubeNeighbors returns the team ranks at offsets 2^0, 2^1, …,

@@ -1,11 +1,32 @@
 package team
 
 import (
+	"errors"
 	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
 )
+
+// mustSplit unwraps a Split the test knows to be valid.
+func mustSplit(t *testing.T, parent *Team, specs []SplitSpec, baseID int64) map[int]*Team {
+	t.Helper()
+	teams, err := Split(parent, specs, baseID)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	return teams
+}
+
+// mustWithout unwraps a Without the test knows leaves survivors.
+func mustWithout(t *testing.T, tm *Team, exclude ...int) *Team {
+	t.Helper()
+	out, err := tm.Without(exclude...)
+	if err != nil {
+		t.Fatalf("Without(%v): %v", exclude, err)
+	}
+	return out
+}
 
 func TestWorld(t *testing.T) {
 	w := World(4)
@@ -64,7 +85,7 @@ func TestSplitByParity(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		specs[i] = SplitSpec{World: i, Color: i % 2, Key: -i} // reverse order by key
 	}
-	teams := Split(w, specs, 100)
+	teams := mustSplit(t, w, specs, 100)
 	if len(teams) != 2 {
 		t.Fatalf("got %d teams", len(teams))
 	}
@@ -95,7 +116,7 @@ func TestSplitKeyTiesBrokenByWorldRank(t *testing.T) {
 		{World: 0, Color: 0, Key: 5},
 		{World: 2, Color: 0, Key: 5},
 	}
-	teams := Split(w, specs, 10)
+	teams := mustSplit(t, w, specs, 10)
 	got := teams[0].Members()
 	for i, m := range got {
 		if m != i {
@@ -113,14 +134,31 @@ func TestSplitRejectsBadSpecs(t *testing.T) {
 		{{World: 0}, {World: 1}, {World: 2}, {World: 2}}, // extra
 	}
 	for i, specs := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: bad split did not panic", i)
-				}
-			}()
-			Split(w, specs, 1)
-		}()
+		teams, err := Split(w, specs, 1)
+		if err == nil {
+			t.Errorf("case %d: bad split returned teams %v, want typed error", i, teams)
+			continue
+		}
+		var serr *SplitError
+		if !errors.As(err, &serr) {
+			t.Errorf("case %d: error %v is not a *SplitError", i, err)
+		}
+		if teams != nil {
+			t.Errorf("case %d: failed split still returned teams", i)
+		}
+	}
+}
+
+// TestSplitEmptyParent: splitting a zero-member parent is the one shape
+// that yields ErrEmptyTeam rather than a *SplitError.
+func TestSplitEmptyParent(t *testing.T) {
+	empty := New(9, nil)
+	teams, err := Split(empty, nil, 1)
+	if !errors.Is(err, ErrEmptyTeam) {
+		t.Fatalf("Split(empty) err = %v, want ErrEmptyTeam", err)
+	}
+	if teams != nil {
+		t.Errorf("Split(empty) returned teams %v", teams)
 	}
 }
 
@@ -201,7 +239,10 @@ func TestPropertySplitPartitions(t *testing.T) {
 		for i, c := range colorsIn {
 			specs[i] = SplitSpec{World: i, Color: int(c % 5), Key: int(c)}
 		}
-		teams := Split(w, specs, 50)
+		teams, err := Split(w, specs, 50)
+		if err != nil {
+			return false
+		}
 		var all []int
 		ids := make(map[int64]bool)
 		for _, tm := range teams {
@@ -238,14 +279,14 @@ func TestPropertySplitPartitions(t *testing.T) {
 func TestWithout(t *testing.T) {
 	w := World(6)
 
-	if got := w.Without(); got != w {
+	if got := mustWithout(t, w); got != w {
 		t.Error("Without() with nothing to drop must return the team itself")
 	}
-	if got := w.Without(9, -1); got != w {
+	if got := mustWithout(t, w, 9, -1); got != w {
 		t.Error("Without(non-members) must return the team itself")
 	}
 
-	s := w.Without(2)
+	s := mustWithout(t, w, 2)
 	if s.Size() != 5 || s.Contains(2) {
 		t.Fatalf("Without(2) = %v", s)
 	}
@@ -262,21 +303,47 @@ func TestWithout(t *testing.T) {
 	// Deterministic: the same exclusion yields the same id, different
 	// exclusions different ids — survivors on every image derive the
 	// identical team independently.
-	if a, b := w.Without(2), w.Without(2); a.ID() != b.ID() {
+	if a, b := mustWithout(t, w, 2), mustWithout(t, w, 2); a.ID() != b.ID() {
 		t.Errorf("same exclusion, different ids: %d vs %d", a.ID(), b.ID())
 	}
-	if a, b := w.Without(2), w.Without(3); a.ID() == b.ID() {
+	if a, b := mustWithout(t, w, 2), mustWithout(t, w, 3); a.ID() == b.ID() {
 		t.Error("different exclusions share an id")
 	}
 
 	// Duplicates in the exclusion list collapse.
-	if a, b := w.Without(2, 2), w.Without(2); a.ID() != b.ID() || !reflect.DeepEqual(a.Members(), b.Members()) {
+	if a, b := mustWithout(t, w, 2, 2), mustWithout(t, w, 2); a.ID() != b.ID() || !reflect.DeepEqual(a.Members(), b.Members()) {
 		t.Errorf("Without(2,2) = %v (id %d), want same as Without(2) = %v (id %d)",
 			a.Members(), a.ID(), b.Members(), b.ID())
 	}
 
 	// Excluding everything but one member still works.
-	if last := w.Without(0, 1, 2, 3, 4); last.Size() != 1 || !last.Contains(5) {
+	if last := mustWithout(t, w, 0, 1, 2, 3, 4); last.Size() != 1 || !last.Contains(5) {
 		t.Errorf("Without(all but 5) = %v", last.Members())
+	}
+}
+
+// TestWithoutAllExcluded: every shape of "nobody left" yields the typed
+// ErrEmptyTeam sentinel and a nil team, never a zero-member team.
+func TestWithoutAllExcluded(t *testing.T) {
+	cases := []struct {
+		name    string
+		size    int
+		exclude []int
+	}{
+		{"every member listed once", 4, []int{0, 1, 2, 3}},
+		{"duplicates and non-members mixed in", 3, []int{2, 0, 1, 1, 9, -5}},
+		{"singleton team loses its only member", 1, []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := World(tc.size)
+			got, err := w.Without(tc.exclude...)
+			if !errors.Is(err, ErrEmptyTeam) {
+				t.Fatalf("Without(%v) err = %v, want ErrEmptyTeam", tc.exclude, err)
+			}
+			if got != nil {
+				t.Errorf("Without(%v) also returned team %v, want nil", tc.exclude, got)
+			}
+		})
 	}
 }
