@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-json-quick bench-shards bench-load bench-recovery load-smoke fuzz-smoke profile-smoke continuation-smoke chaos-crash chaos-recover shard-matrix ci figures figures-quick examples race-examples clean
+.PHONY: all build vet test test-short bench bench-json bench-json-quick bench-shards bench-load bench-recovery bench-path load-smoke fuzz-smoke profile-smoke continuation-smoke path-smoke chaos-crash chaos-recover shard-matrix ci figures figures-quick examples race-examples clean
 
 all: build vet test
 
@@ -26,6 +26,8 @@ ci: vet build test shard-matrix
 	$(GO) test -race -run 'TestLoadShardEquivalence' ./examples/workloads
 	$(GO) run ./cmd/benchjson -load -quick
 	$(GO) run ./cmd/benchjson -recovery -quick
+	$(MAKE) path-smoke
+	$(GO) run ./cmd/benchjson -path -quick
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -54,6 +56,12 @@ bench-load:
 bench-recovery:
 	$(GO) run ./cmd/benchjson -recovery -out BENCH_recovery.json
 
+# Regenerate the committed path-tracing overhead artifact (each KV
+# scenario tracing-off vs tracing-on: wall-clock overhead columns with
+# the SLO digest pinned identical and exactness asserted per row).
+bench-path:
+	$(GO) run ./cmd/benchjson -path -out BENCH_path.json
+
 # Service-traffic gate: the load generator/histogram property tests, the
 # service workloads (goldens + SLO sanity + crash rows), the SLO-level
 # shard-equivalence matrix under the race detector, and a quick sweep.
@@ -79,6 +87,17 @@ continuation-smoke:
 	$(GO) run ./cmd/contsmoke -profile /tmp/caf2go_continuation_smoke.json
 	$(GO) run ./cmd/cafprof /tmp/caf2go_continuation_smoke.json
 	rm -f /tmp/caf2go_continuation_smoke.json
+
+# Critical-path tracing smoke: run the lock-protocol KV service with
+# path tracing on, assert the exact latency decomposition (bucket sums
+# equal measured latency for every request, digest unperturbed, tail
+# dominated by lock wait), then render the paths and tail views from
+# the written profile through the cafprof CLI.
+path-smoke:
+	$(GO) run ./cmd/pathsmoke -profile /tmp/caf2go_path_smoke.json
+	$(GO) run ./cmd/cafprof paths /tmp/caf2go_path_smoke.json
+	$(GO) run ./cmd/cafprof tail /tmp/caf2go_path_smoke.json
+	rm -f /tmp/caf2go_path_smoke.json
 
 # Short fuzz pass over the conflict-range intersection kernel.
 fuzz-smoke:

@@ -33,6 +33,7 @@ import (
 	"caf2go/internal/fabric"
 	"caf2go/internal/failure"
 	"caf2go/internal/metrics"
+	"caf2go/internal/path"
 	"caf2go/internal/prof"
 	"caf2go/internal/race"
 	"caf2go/internal/repl"
@@ -148,6 +149,17 @@ type Config struct {
 	// Report.Metrics. Off by default; when off, runs stay bit-identical
 	// to builds without the registry.
 	Metrics bool
+	// PathTracing enables request-scoped causal tracing
+	// (internal/path): operations initiated under an active request
+	// context (Image.PathScope, set by the load harness per request)
+	// assemble into per-request span DAGs, and every request's measured
+	// latency is decomposed exactly into critical-path buckets (client
+	// queue, coalesce hold, wire, credit stall, lock wait, handler
+	// service, replication mirror, epoch stall, replay re-issue).
+	// Export via Machine.Profile / WriteProfile and the cafprof
+	// paths/tail views. Off by default; the zero value keeps every run
+	// bit-identical to a build without the tracker.
+	PathTracing bool
 	// FlatCollectives replaces the binomial collective trees with a
 	// centralized star — the O(p)-critical-path ablation baseline for
 	// the finish cost analysis.
@@ -214,6 +226,7 @@ type Machine struct {
 	tracer    *trace.Recorder
 	life      *trace.Lifecycle
 	met       *metrics.Registry
+	path      *path.Tracker
 	registry  *fnRegistry
 	conflicts *conflictState
 	race      *raceState
@@ -292,6 +305,13 @@ func NewMachine(cfg Config) *Machine {
 		// Wired before the kernel copies the fabric config.
 		cfg.Fabric.Metrics = met
 	}
+	var ptrack *path.Tracker
+	if cfg.PathTracing {
+		ptrack = path.New()
+		// Wired before the kernel copies the fabric config, so the
+		// fabric claims coalesce/credit/wire legs for tagged messages.
+		cfg.Fabric.Path = ptrack
+	}
 	shards := cfg.Shards
 	if shards < 1 {
 		shards = 1
@@ -319,6 +339,7 @@ func NewMachine(cfg Config) *Machine {
 	m.tracer = tracer
 	m.life = life
 	m.met = met
+	m.path = ptrack
 	var crash map[int]sim.Time
 	if cfg.Fabric.Faults != nil {
 		crash = cfg.Fabric.Faults.Crash
@@ -711,6 +732,11 @@ func (m *Machine) Lifecycle() *trace.Lifecycle { return m.life }
 // off. Snapshot for export; also embedded in Report.Metrics.
 func (m *Machine) Metrics() *metrics.Registry { return m.met }
 
+// PathTracker returns the request-scoped causal tracing tracker, or nil
+// when Config.PathTracing is off. All tracker methods are no-ops on a
+// nil receiver, so callers (the load harness) need no guards.
+func (m *Machine) PathTracker() *path.Tracker { return m.path }
+
 // Profile assembles the run's observability export: operation
 // lifecycles, blocked intervals, finish detection rounds, and the
 // metrics snapshot. Analyze with internal/prof or the cafprof CLI.
@@ -738,6 +764,7 @@ func (m *Machine) Profile() *prof.Profile {
 		snap := m.met.Snapshot()
 		p.Metrics = &snap
 	}
+	p.Paths = m.path.Export()
 	return p
 }
 
@@ -760,10 +787,17 @@ func (img *Image) traceInstant(name, cat string) {
 
 // opNew creates the completion handle for an async op initiated by this
 // image, registering it with the lifecycle tracker when tracing is on
-// (the handle's continuation machinery works either way).
+// (the handle's continuation machinery works either way). Under an
+// active request context the op also becomes a span on the request's
+// causal DAG, parented to the context's enclosing span.
 func (img *Image) opNew(kind string, peer int) *Op {
-	return &Op{m: img.m, kind: kind, img: img.Rank(),
+	o := &Op{m: img.m, kind: kind, img: img.Rank(),
 		id: img.m.life.OpNew(kind, img.Rank(), peer, img.Now())}
+	if img.m.path != nil && img.pctx.Active() {
+		o.pctx = img.pctx
+		o.span = img.m.path.SpanNew(img.pctx, kind, img.Rank(), peer, img.Now())
+	}
+	return o
 }
 
 // opStage advances an op's completion level as observed on this image:
@@ -842,6 +876,12 @@ type Image struct {
 	// local-data-completion clocks a cofence may acquire.
 	rc      *race.Ctx
 	raceOps []raceOp
+
+	// pctx is the active request-scoped tracing context (zero outside a
+	// traced request). It propagates along every causal edge: spawned
+	// handlers inherit the spawning op's context, and continuation
+	// firings restore the op's context around the callback.
+	pctx path.Ctx
 }
 
 // Rank returns the image's world rank (0-based).
@@ -857,7 +897,32 @@ func (img *Image) World() *Team { return img.m.world }
 func (img *Image) Now() Time { return img.proc.Now() }
 
 // Compute advances this image's virtual clock by d, modeling local work.
-func (img *Image) Compute(d Time) { img.proc.Sleep(d) }
+// Under an active request context the computed interval is claimed as
+// handler-service time in the request's critical-path decomposition.
+func (img *Image) Compute(d Time) {
+	img.proc.Sleep(d)
+	img.m.path.Claim(img.pctx, path.HandlerService, img.Now())
+}
+
+// PathCtx re-exports the request-scoped tracing context (internal/path).
+// The zero value is inactive.
+type PathCtx = path.Ctx
+
+// PathScope installs c as this execution context's request-scoped
+// tracing context and returns the previous one; restore it when the
+// request-scoped work is done:
+//
+//	prev := img.PathScope(ctx)
+//	defer img.PathScope(prev)
+//
+// Operations initiated while a context is active become spans on the
+// request's causal DAG and their fabric legs claim critical-path
+// buckets. A no-op machine-wide unless Config.PathTracing is set.
+func (img *Image) PathScope(c PathCtx) PathCtx {
+	prev := img.pctx
+	img.pctx = c
+	return prev
+}
 
 // Random returns the image's deterministic private random stream.
 func (img *Image) Random() *rand.Rand { return img.st.kern.Rng() }

@@ -13,12 +13,17 @@
 // crash-recovery sweep — the KV service with a mid-traffic primary
 // crash across detector heartbeat × machine size × replication on/off,
 // reporting lost vs. replayed requests and the crash-to-commit latency
-// (the committed BENCH_recovery.json artifact).
+// (the committed BENCH_recovery.json artifact). The -path mode runs
+// the critical-path tracing sweep — each KV scenario with tracing off
+// vs. on, reporting the wall-clock overhead of the observability layer
+// with the SLO digest pinned identical and the latency decomposition
+// asserted exact in every row (the committed BENCH_path.json artifact).
 //
 //	go run ./cmd/benchjson -out BENCH_coalesce.json
 //	go run ./cmd/benchjson -shards -out BENCH_shards.json
 //	go run ./cmd/benchjson -load -out BENCH_load.json
 //	go run ./cmd/benchjson -recovery -out BENCH_recovery.json
+//	go run ./cmd/benchjson -path -out BENCH_path.json
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 	shards := flag.Bool("shards", false, "run the shard-count sweep instead of the coalescing sweep")
 	loadSweep := flag.Bool("load", false, "run the service-traffic SLO sweep instead of the coalescing sweep")
 	recovery := flag.Bool("recovery", false, "run the crash-recovery sweep instead of the coalescing sweep")
+	pathSweep := flag.Bool("path", false, "run the critical-path tracing overhead sweep instead of the coalescing sweep")
 	flag.Parse()
 
 	w := os.Stdout
@@ -52,6 +58,25 @@ func main() {
 	}
 
 	wall := time.Now()
+	if *pathSweep {
+		o := bench.DefaultPath()
+		if *quick {
+			o = bench.SmokePath()
+		}
+		rep, err := bench.Path(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("path sweep done in %v wall time", time.Since(wall).Round(time.Millisecond))
+		for wl, dom := range rep.TailDominantByWorkload {
+			log.Printf("%s: slowest tail band dominated by %s", wl, dom)
+		}
+		log.Printf("worst tracing overhead %.1f%% wall clock, digests identical in every row", rep.MaxOverheadPct)
+		if err := rep.WriteJSON(w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *recovery {
 		o := bench.DefaultRecovery()
 		if *quick {

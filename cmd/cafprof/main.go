@@ -2,52 +2,93 @@
 // Machine.WriteProfile (or the examples' -profile flags): per-stage
 // latency histograms over the four completion levels, the blocked-time
 // "top blockers" table, a per-image utilization timeline, and the finish
-// termination-detection round counts (Theorem 1's ≤ L+1 bound).
+// termination-detection round counts (Theorem 1's ≤ L+1 bound). The
+// paths and tail views analyze the request-scoped critical-path capture
+// of runs with path tracing enabled.
 //
 //	go run ./examples/quickstart -profile prof.json
 //	go run ./cmd/cafprof prof.json
+//	go run ./cmd/cafprof paths prof.json   # latency decomposition + waterfalls
+//	go run ./cmd/cafprof tail prof.json    # per-band tail attribution
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"caf2go/internal/prof"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cafprof: ")
-	top := flag.Int("top", 5, "releaser ops listed per blocking primitive")
-	metrics := flag.Bool("metrics", false, "include raw metric families")
-	asJSON := flag.Bool("json", false, "re-emit the normalized profile as JSON")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: cafprof [flags] profile.json\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: it returns the process exit code
+// instead of calling os.Exit, and every failure path lands on stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cafprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 5, "releaser ops listed per blocking primitive")
+	metrics := fs.Bool("metrics", false, "include raw metric families")
+	asJSON := fs.Bool("json", false, "re-emit the normalized profile as JSON")
+	slowest := fs.Int("slowest", 3, "requests rendered as waterfalls by the paths view")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cafprof [flags] [paths|tail] profile.json\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	view := ""
+	rest := fs.Args()
+	if len(rest) == 2 {
+		view = rest[0]
+		rest = rest[1:]
+		if view != "paths" && view != "tail" {
+			fmt.Fprintf(stderr, "cafprof: unknown view %q (want paths or tail)\n", view)
+			return 2
+		}
+	}
+	if len(rest) != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	f, err := os.Open(rest[0])
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "cafprof: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	p, err := prof.Read(f)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "cafprof: %v\n", err)
+		return 1
 	}
 
-	if *asJSON {
-		if err := prof.Write(os.Stdout, p); err != nil {
-			log.Fatal(err)
+	switch view {
+	case "paths":
+		if err := prof.RenderPaths(stdout, p, *slowest); err != nil {
+			fmt.Fprintf(stderr, "cafprof: %v\n", err)
+			return 1
 		}
-		return
+	case "tail":
+		if err := prof.RenderTail(stdout, p); err != nil {
+			fmt.Fprintf(stderr, "cafprof: %v\n", err)
+			return 1
+		}
+	default:
+		if *asJSON {
+			if err := prof.Write(stdout, p); err != nil {
+				fmt.Fprintf(stderr, "cafprof: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		prof.Render(stdout, p, prof.RenderOpts{TopBlockers: *top, Metrics: *metrics})
 	}
-	prof.Render(os.Stdout, p, prof.RenderOpts{TopBlockers: *top, Metrics: *metrics})
+	return 0
 }

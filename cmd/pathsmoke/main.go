@@ -1,0 +1,95 @@
+// Command pathsmoke is the critical-path tracing smoke check wired into
+// CI: it runs the lock-protocol KV service with path tracing enabled
+// and asserts the tentpole contracts — the bucket decomposition of
+// every completed request sums exactly to its Collector-measured
+// latency, exactly the completed requests carry a closed path, tracing
+// does not perturb the SLO digest, and the dominant bucket of the
+// slowest tail band is the lock wait. Any regression exits non-zero.
+//
+// With -profile, the traced run's profile is written as
+// cafprof-readable JSON so CI can render the paths and tail views.
+//
+// Usage:
+//
+//	pathsmoke [-profile out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	caf "caf2go"
+	"caf2go/examples/workloads"
+	"caf2go/internal/load"
+	"caf2go/internal/prof"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pathsmoke: ")
+	profilePath := flag.String("profile", "", "write the traced run's profile JSON here")
+	flag.Parse()
+
+	run := func(traced bool) (*caf.Machine, load.SLO) {
+		var slo load.SLO
+		var m *caf.Machine
+		_, err := workloads.KVService(
+			caf.Config{Images: 8, Seed: 11, PathTracing: traced},
+			workloads.ServiceOpts{Requests: 240, Rate: 240_000, WriteFrac: 0.5, SLOOut: &slo},
+			workloads.CaptureMachine(&m))
+		if err != nil {
+			log.Fatalf("kv-locks traced=%v: %v", traced, err)
+		}
+		return m, slo
+	}
+	_, sloOff := run(false)
+	m, sloOn := run(true)
+	if sloOn.Digest() != sloOff.Digest() {
+		log.Fatalf("tracing perturbed the run:\n  off %s\n   on %s", sloOff.Digest(), sloOn.Digest())
+	}
+
+	p := m.Profile()
+	if p.Paths == nil {
+		log.Fatal("path tracing enabled but profile has no path capture")
+	}
+	if mm := prof.PathMismatches(p); len(mm) > 0 {
+		log.Fatalf("%d requests violate the exactness invariant (first: seq %d buckets sum %d ≠ latency %d)",
+			len(mm), mm[0].Seq, mm[0].Sum, mm[0].Latency)
+	}
+	completed := prof.CompletedPaths(p)
+	if int64(len(completed)) != sloOn.Completed {
+		log.Fatalf("path capture closed %d requests, collector completed %d", len(completed), sloOn.Completed)
+	}
+	if got := int64(m.PathTracker().Finished()); got != sloOn.Completed {
+		log.Fatalf("tracker finished %d, collector completed %d", got, sloOn.Completed)
+	}
+	bands := prof.Tail(p)
+	if len(bands) == 0 {
+		log.Fatal("tail produced no bands")
+	}
+	tail := bands[len(bands)-1]
+	if tail.Dominant != "lock_wait" {
+		log.Fatalf("tail band %s dominant bucket = %q, want lock_wait — lock-wait attribution regressed",
+			tail.Band, tail.Dominant)
+	}
+
+	fmt.Printf("ok   kv-locks: %d/%d requests decomposed exactly, digest inert, tail %s dominated by %s\n",
+		len(completed), sloOn.Requests, tail.Band, tail.Dominant)
+	fmt.Printf("     digest: %s\n", sloOn.Digest())
+
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("     wrote traced kv-locks profile to %s\n", *profilePath)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"caf2go/internal/core"
 	"caf2go/internal/fabric"
+	"caf2go/internal/path"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/trace"
@@ -56,6 +57,7 @@ type copyReadMsg struct {
 	class   fabric.Class
 	track   any // base finish ref for the data hop
 	srcE    *Event
+	ptag    path.Tag // request tag for the forwarded data hop
 	put     copyPutMsg
 
 	// rclk is the op's read clock; recordR registers the source access.
@@ -261,6 +263,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) *Op {
 				Track: track,
 				Class: class,
 				Bytes: bytes,
+				Path:  path.WireTag(oph.pctx),
 				OnDelivered: func() {
 					m.opStageAt(oph, me, trace.StageLocalOp)
 					tok.complete()
@@ -325,6 +328,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) *Op {
 				class:   class,
 				track:   baseTrack,
 				srcE:    o.srcE,
+				ptag:    path.WireTag(oph.pctx),
 				rclk:    rclk,
 				put: copyPutMsg{
 					write: func(d any) {
@@ -357,6 +361,7 @@ func CopyAsync[T any](img *Image, dst, src Sec[T], opts ...CopyOpt) *Op {
 				Track: track,
 				Class: fabric.AMShort,
 				Bytes: 32,
+				Path:  path.WireTag(oph.pctx),
 				OnDelivered: func() {
 					// Read request accepted at the source: nothing more is
 					// required of the initiator.
@@ -458,6 +463,7 @@ func (m *Machine) handleCopyGetReq(d *rt.Delivery) {
 		Track: msg.track,
 		Class: msg.class,
 		Bytes: msg.bytes,
+		Path:  msg.ptag,
 	})
 }
 
@@ -533,6 +539,8 @@ func Get[T any](img *Image, src Sec[T]) []T {
 		},
 		bytes: bytes,
 	}, rt.SendOpts{Class: fabric.AMShort, Bytes: 24})
+	// The blocking round trip is pure network time on a traced request.
+	img.m.path.Claim(img.pctx, path.Wire, img.Now())
 	// A blocking round trip collapses the completion levels at return;
 	// stamped before endBlock so the park is attributed to this op.
 	img.opStage(oph, trace.StageLocalData)
@@ -566,6 +574,7 @@ func Put[T any](img *Image, dst Sec[T], vals []T) {
 			rel()
 		},
 	}, rt.SendOpts{Class: classForBytes(img.m, bytes), Bytes: bytes})
+	img.m.path.Claim(img.pctx, path.Wire, img.Now())
 	img.opStage(oph, trace.StageLocalData)
 	img.opStage(oph, trace.StageLocalOp)
 	img.opStage(oph, trace.StageGlobal)

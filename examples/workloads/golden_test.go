@@ -328,6 +328,7 @@ func TestGoldenShardEquivalence(t *testing.T) {
 			instrument := func(cfg *caf.Config) {
 				cfg.TraceCapacity = 1 << 15
 				cfg.Metrics = true
+				cfg.PathTracing = true
 			}
 			var baseM *caf.Machine
 			base, err := tc.Run(instrument, CaptureMachine(&baseM))

@@ -268,6 +268,7 @@ func KVService(cfg caf.Config, o ServiceOpts, opts ...RunOpt) (Result, error) {
 		return Result{}, err
 	}
 	slo := col.SLO()
+	slo.ExportMetrics(mach)
 	if o.SLOOut != nil {
 		*o.SLOOut = slo
 	}
@@ -326,6 +327,8 @@ func AggService(cfg caf.Config, o ServiceOpts, opts ...RunOpt) (Result, error) {
 	sched := o.arrivals(cfg.Seed, clients)
 	col := load.NewCollector("agg request", sched)
 	var mergeSum int64
+	var mach *caf.Machine
+	opts = append(opts, CaptureMachine(&mach))
 
 	rep, err := run(cfg, opts, func(img *caf.Image) {
 		me := img.Rank()
@@ -407,6 +410,9 @@ func AggService(cfg caf.Config, o ServiceOpts, opts ...RunOpt) (Result, error) {
 	})
 
 	slo := col.SLO()
+	if mach != nil {
+		slo.ExportMetrics(mach)
+	}
 	if o.SLOOut != nil {
 		*o.SLOOut = slo
 	}

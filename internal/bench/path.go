@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	caf "caf2go"
+	"caf2go/examples/workloads"
+	"caf2go/internal/load"
+	"caf2go/internal/prof"
+)
+
+// The path-tracing benchmark harness (BENCH_path.json): each KV service
+// scenario runs twice — tracing off and tracing on — and every row
+// reports the host wall-clock of both runs side by side (the tracing
+// overhead the observability layer costs) next to the capture's own
+// health: the SLO digest must be identical between the two runs
+// (tracing is inert), the bucket decomposition must be exact for every
+// completed request, and the dominant tail bucket is named so the
+// artifact doubles as a regression pin for the lock-wait attribution
+// headline.
+
+// PathOpts parameterizes the sweep.
+type PathOpts struct {
+	// Images are the machine sizes; half serve, half generate load.
+	Images []int
+	// Requests is the total request count per run.
+	Requests int
+	// RatePerServer is the offered load per server image in requests
+	// per virtual second.
+	RatePerServer float64
+	// WriteFrac is the read/write mix.
+	WriteFrac float64
+	Seed      int64
+}
+
+// DefaultPath returns the committed-artifact configuration.
+func DefaultPath() PathOpts {
+	return PathOpts{
+		Images:        []int{16, 32},
+		Requests:      1_500,
+		RatePerServer: 160_000,
+		WriteFrac:     0.5,
+		Seed:          1,
+	}
+}
+
+// SmokePath returns a seconds-scale configuration for CI.
+func SmokePath() PathOpts {
+	o := DefaultPath()
+	o.Images = []int{8}
+	o.Requests = 240
+	return o
+}
+
+// PathRow is one (workload, size) tracing-off vs tracing-on comparison.
+type PathRow struct {
+	Workload string // "kv-locks" or "kv-shipping"
+	Images   int
+	Requests int64
+	// Completed counts the requests the path capture closed; it must
+	// equal Requests in these fault-free runs.
+	Completed int64
+	// SLODigest is the canonical report line; DigestIdentical records
+	// the traced run producing the same digest as the untraced one —
+	// the tracing-is-inert contract.
+	SLODigest       string
+	DigestIdentical bool
+	// Mismatches counts requests whose bucket sums differ from their
+	// measured latency (must be 0: the decomposition is exact).
+	Mismatches int
+	// DominantBucket is the largest bucket over all completed requests;
+	// TailDominant is the slowest band's largest bucket.
+	DominantBucket string
+	TailDominant   string
+	// Host wall-clock of the two runs and the relative overhead of
+	// tracing (nondeterministic; the digest columns are the pinned part).
+	WallOffMS   float64
+	WallOnMS    float64
+	OverheadPct float64
+}
+
+// PathReport is the BENCH_path.json document.
+type PathReport struct {
+	Opts PathOpts
+	Rows []PathRow
+	// TailDominantByWorkload is the headline: the slowest band's
+	// dominant bucket per workload at the largest size ("lock_wait" for
+	// kv-locks is the pinned expectation).
+	TailDominantByWorkload map[string]string
+	// MaxOverheadPct is the worst tracing overhead across rows.
+	MaxOverheadPct float64
+}
+
+// Path runs the sweep.
+func Path(o PathOpts) (PathReport, error) {
+	out := PathReport{Opts: o, TailDominantByWorkload: map[string]string{}}
+	for _, images := range o.Images {
+		for _, shipping := range []bool{false, true} {
+			workload := "kv-locks"
+			if shipping {
+				workload = "kv-shipping"
+			}
+			row, err := pathRow(o, workload, images, shipping)
+			if err != nil {
+				return out, err
+			}
+			out.Rows = append(out.Rows, row)
+			if row.OverheadPct > out.MaxOverheadPct {
+				out.MaxOverheadPct = row.OverheadPct
+			}
+			out.TailDominantByWorkload[workload] = row.TailDominant
+		}
+	}
+	return out, nil
+}
+
+func pathRow(o PathOpts, workload string, images int, shipping bool) (PathRow, error) {
+	offered := o.RatePerServer * float64(images/2)
+	run := func(traced bool) (*caf.Machine, load.SLO, time.Duration, error) {
+		var slo load.SLO
+		var m *caf.Machine
+		start := time.Now()
+		_, err := workloads.KVService(
+			caf.Config{Images: images, Seed: o.Seed, PathTracing: traced},
+			workloads.ServiceOpts{
+				Requests:  o.Requests,
+				Rate:      offered,
+				WriteFrac: o.WriteFrac,
+				Shipping:  shipping,
+				SLOOut:    &slo,
+			}, workloads.CaptureMachine(&m))
+		return m, slo, time.Since(start), err
+	}
+	_, sloOff, wallOff, err := run(false)
+	if err != nil {
+		return PathRow{}, fmt.Errorf("path %s p=%d untraced: %w", workload, images, err)
+	}
+	m, sloOn, wallOn, err := run(true)
+	if err != nil {
+		return PathRow{}, fmt.Errorf("path %s p=%d traced: %w", workload, images, err)
+	}
+	if sloOn.Digest() != sloOff.Digest() {
+		return PathRow{}, fmt.Errorf("path %s p=%d: tracing perturbed the run:\n  off %s\n   on %s",
+			workload, images, sloOff.Digest(), sloOn.Digest())
+	}
+	p := m.Profile()
+	mismatches := prof.PathMismatches(p)
+	if len(mismatches) > 0 {
+		return PathRow{}, fmt.Errorf("path %s p=%d: %d requests violate exactness (first: seq %d sum %d ≠ latency %d)",
+			workload, images, len(mismatches), mismatches[0].Seq, mismatches[0].Sum, mismatches[0].Latency)
+	}
+	completed := prof.CompletedPaths(p)
+	if int64(len(completed)) != sloOn.Completed {
+		return PathRow{}, fmt.Errorf("path %s p=%d: capture closed %d requests, collector completed %d",
+			workload, images, len(completed), sloOn.Completed)
+	}
+	row := PathRow{
+		Workload:        workload,
+		Images:          images,
+		Requests:        sloOn.Requests,
+		Completed:       sloOn.Completed,
+		SLODigest:       sloOn.Digest(),
+		DigestIdentical: true,
+		Mismatches:      0,
+		DominantBucket:  prof.DominantBucket(prof.PathBuckets(p)),
+		WallOffMS:       float64(wallOff.Microseconds()) / 1e3,
+		WallOnMS:        float64(wallOn.Microseconds()) / 1e3,
+	}
+	if bands := prof.Tail(p); len(bands) > 0 {
+		row.TailDominant = bands[len(bands)-1].Dominant
+	}
+	if wallOff > 0 {
+		row.OverheadPct = 100 * (float64(wallOn)/float64(wallOff) - 1)
+	}
+	return row, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r PathReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

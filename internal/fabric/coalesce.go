@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"caf2go/internal/path"
 	"caf2go/internal/sim"
 )
 
@@ -188,6 +189,14 @@ func (ep *Endpoint) flushDst(dst int, reason FlushReason) {
 	if f.cfg.FlushObserver != nil {
 		f.cfg.FlushObserver.CoalesceFlush(ep.rank, dst, len(msgs), bytes, reason, f.eng.Now())
 	}
+	if f.cfg.Path != nil {
+		// Time spent in the buffer is the latency price of coalescing:
+		// claim it for every tagged inner message at the flush.
+		now := f.eng.Now()
+		for _, m := range msgs {
+			f.cfg.Path.ClaimTag(m.Path, path.CoalesceHold, now)
+		}
+	}
 
 	if f.reliable && f.crashedNow(ep.rank) {
 		// The NIC died while the messages sat in the buffer: they vanish
@@ -293,6 +302,7 @@ func (ep *Endpoint) CoalescedPending() int {
 // here, so an inner handler runs exactly once per logical message no
 // matter how the packet travelled.
 func (ep *Endpoint) dispatch(m *Msg) {
+	ep.f.claimPathDelivered(m)
 	if m.Tag == tagBatch {
 		b := m.Payload.(*batch)
 		for _, inner := range b.msgs {

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"caf2go/internal/metrics"
+	"caf2go/internal/path"
 	"caf2go/internal/sim"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	// occupancy. nil (the default) records nothing and keeps the fabric
 	// bit-identical to a build without the registry.
 	Metrics *metrics.Registry
+	// Path, when non-nil, receives critical-path bucket claims for
+	// messages carrying a request tag (Msg.Path): coalesce-hold time at
+	// flush, credit/retransmit stall time, and the wire leg at delivery.
+	// nil (the default) records nothing and an untagged message never
+	// claims — the fabric stays bit-identical either way.
+	Path *path.Tracker
 }
 
 // DefaultConfig returns the cost model used by the benchmark harness.
@@ -119,6 +126,10 @@ type Msg struct {
 	Class    Class
 	Bytes    int
 	Payload  any
+	// Path names the traced request whose causal path this message is
+	// on (zero = untagged). The fabric claims the message's buffering,
+	// stalling, and wire time against that request's decomposition.
+	Path path.Tag
 }
 
 // Handler processes a delivered message on the destination endpoint. It
@@ -252,6 +263,39 @@ func New(eng *sim.Engine, n int, cfg Config) *Fabric {
 		}
 	}
 	return f
+}
+
+// claimPath attributes [cursor, now) of every tagged message inside m
+// (fanning out through batches) to bucket b on the request tracker. A
+// no-op without a tracker or for untagged messages.
+func (f *Fabric) claimPath(m *Msg, b path.Bucket) {
+	if f.cfg.Path == nil {
+		return
+	}
+	now := f.eng.Now()
+	if m.Tag == tagBatch {
+		for _, inner := range m.Payload.(*batch).msgs {
+			f.cfg.Path.ClaimTag(inner.Path, b, now)
+		}
+		return
+	}
+	f.cfg.Path.ClaimTag(m.Path, b, now)
+}
+
+// claimPathDelivered claims each tagged message's own delivery bucket
+// (Wire for ordinary AMs, ReplMirror for mirror writes) at dispatch.
+func (f *Fabric) claimPathDelivered(m *Msg) {
+	if f.cfg.Path == nil {
+		return
+	}
+	now := f.eng.Now()
+	if m.Tag == tagBatch {
+		for _, inner := range m.Payload.(*batch).msgs {
+			f.cfg.Path.ClaimTag(inner.Path, inner.Path.Bucket, now)
+		}
+		return
+	}
+	f.cfg.Path.ClaimTag(m.Path, m.Path.Bucket, now)
 }
 
 // nicState is the injection pipe shared by the images of one node.
@@ -562,6 +606,7 @@ func (ep *Endpoint) drainQueue() {
 		stall := f.eng.Now() - q.queuedAt
 		f.stats.CreditStall += stall
 		f.mCreditStall.Add(ep.rank, int64(stall))
+		f.claimPath(q.m, path.CreditStall)
 		if f.cfg.StallPenalty > 0 {
 			ep.nic.free += f.cfg.StallPenalty
 		}
@@ -618,6 +663,9 @@ func (ep *Endpoint) transmit(tx *txState) {
 	tx.attempts++
 	if tx.attempts > 1 {
 		f.stats.Retransmits++
+		// The gap a lost packet cost the request is a flow-control
+		// stall: claim it at the moment the retransmission goes out.
+		f.claimPath(m, path.CreditStall)
 	}
 	ep.Sent++
 	f.stats.MsgsSent++

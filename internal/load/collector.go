@@ -7,6 +7,7 @@ import (
 
 	caf "caf2go"
 	"caf2go/internal/failure"
+	"caf2go/internal/path"
 )
 
 // pendReq is one issued-but-unfinished request.
@@ -64,6 +65,10 @@ func (c *Collector) Issued(m *caf.Machine, r Request, client, target int) {
 	c.pend[r.Seq] = pendReq{r: r, client: client, target: target}
 	c.perClient[client]++
 	c.issued++
+	// First issue opens the request's critical path (claiming client-side
+	// queueing since the scheduled arrival); a re-issue after a failover
+	// claims the replay gap instead.
+	m.PathTracker().Begin(r.Seq, client, r.At, m.Engine().Now())
 	m.Metrics().Counter("load_requests_total", "requests issued by the load generator").Add(client, 1)
 }
 
@@ -86,6 +91,9 @@ func (c *Collector) Done(m *caf.Machine, now caf.Time, seq int) bool {
 	}
 	c.hist.Observe(lat)
 	c.completed++
+	// Close the critical path at the same instant the histogram observes,
+	// so the bucket decomposition sums to exactly this latency.
+	m.PathTracker().Finish(seq, now)
 	if now > c.lastDone {
 		c.lastDone = now
 	}
@@ -105,6 +113,7 @@ func (c *Collector) Fail(m *caf.Machine, now caf.Time, seq int, err *caf.ImageFa
 	delete(c.pend, seq)
 	c.perClient[p.client]--
 	c.failed++
+	m.PathTracker().Abort(seq)
 	if err != nil {
 		c.lostTo[err.Rank]++
 	}
@@ -179,11 +188,15 @@ func (c *Collector) ReplayDead(m *caf.Machine, client int) []Request {
 	}
 	sort.Ints(seqs)
 	out := make([]Request, 0, len(seqs))
+	pt, now := m.PathTracker(), m.Engine().Now()
 	for _, seq := range seqs {
 		out = append(out, c.pend[seq].r)
 		delete(c.pend, seq)
 		c.perClient[client]--
 		c.replayed++
+		// Time since the request's last progress was spent waiting for
+		// the epoch agreement to commit the target's death.
+		pt.Claim(path.ReqCtx(seq), path.EpochStall, now)
 	}
 	m.Metrics().Counter("load_requests_replayed_total", "in-flight requests re-issued against a promoted backup after an epoch commit").Add(client, int64(len(seqs)))
 	return out
@@ -248,6 +261,33 @@ func (c *Collector) SLO() SLO {
 		s.OfferedRPS = float64(c.requests-1) / span.Seconds()
 	}
 	return s
+}
+
+// ExportMetrics publishes the SLO digest into the machine's metrics
+// registry, so profile exports and benchjson metrics snapshots carry
+// the service-level numbers alongside the runtime's own counters. The
+// gauges are machine-global, keyed to image 0; rates are scaled to
+// integer milli-units so the export stays bit-identical (the registry
+// stores int64). A disabled registry ignores the writes.
+func (s SLO) ExportMetrics(m *caf.Machine) {
+	met := m.Metrics()
+	met.Gauge("slo_requests", "requests scheduled by the load generator").Set(0, s.Requests)
+	met.Gauge("slo_completed", "requests completed within the run").Set(0, s.Completed)
+	met.Gauge("slo_failed", "requests settled with a typed failure").Set(0, s.Failed)
+	met.Gauge("slo_failovers", "requests redirected to a surviving replica").Set(0, s.Failovers)
+	met.Gauge("slo_replayed", "requests re-issued after an epoch commit").Set(0, s.Replayed)
+	met.Gauge("slo_p50_ns", "median request latency from scheduled arrival (ns)").Set(0, int64(s.P50))
+	met.Gauge("slo_p99_ns", "p99 request latency from scheduled arrival (ns)").Set(0, int64(s.P99))
+	met.Gauge("slo_p999_ns", "p999 request latency from scheduled arrival (ns)").Set(0, int64(s.P999))
+	met.Gauge("slo_max_ns", "max request latency from scheduled arrival (ns)").Set(0, int64(s.MaxLat))
+	met.Gauge("slo_mean_ns", "mean request latency from scheduled arrival (ns)").Set(0, s.MeanNS)
+	met.Gauge("slo_goodput_millirps", "completed requests per virtual second, milli-units").Set(0, int64(s.GoodputRPS*1000))
+	met.Gauge("slo_offered_millirps", "offered arrival rate, milli-units").Set(0, int64(s.OfferedRPS*1000))
+	var lost int64
+	for _, n := range s.LostTo {
+		lost += n
+	}
+	met.Gauge("slo_lost", "failed requests blamed on dead images").Set(0, lost)
 }
 
 // Digest renders the report as one canonical line — the bit-identity

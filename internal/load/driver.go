@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	caf "caf2go"
+	"caf2go/internal/path"
 )
 
 // Issuer launches one request from the driving image. It runs on the
@@ -69,6 +70,16 @@ func Drive(img *caf.Image, client int, sched []Request, col *Collector, o DriveO
 	me := img.Rank()
 	m := img.Machine()
 
+	// Every initiation the issuer makes runs under the request's root
+	// path context, so its ops land on the request's causal DAG. With
+	// path tracing off the scope is a plain field swap and opNew ignores
+	// it entirely.
+	traced := func(r Request) {
+		prev := img.PathScope(path.ReqCtx(r.Seq))
+		issue(d, r)
+		img.PathScope(prev)
+	}
+
 	var mine []Request
 	for _, r := range sched {
 		if r.Client == client {
@@ -84,12 +95,12 @@ func Drive(img *caf.Image, client int, sched []Request, col *Collector, o DriveO
 		for i < len(mine) && mine[i].At <= now {
 			r := mine[i]
 			i++
-			issue(d, r)
+			traced(r)
 		}
 		d.PS.Poll()
 		if o.Replay {
 			for _, r := range col.ReplayDead(m, me) {
-				issue(d, r)
+				traced(r)
 			}
 		}
 		if o.Reconcile {

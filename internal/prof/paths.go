@@ -1,0 +1,332 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"caf2go/internal/path"
+	"caf2go/internal/sim"
+)
+
+// Critical-path analyses over the profile's request-scoped tracing
+// capture (Profile.Paths): the aggregated latency-decomposition table
+// (`cafprof paths`), per-band tail attribution with exemplars
+// (`cafprof tail`), and the exactness check the smoke harness and
+// property tests pin (bucket sums equal measured latency for every
+// completed request).
+
+// CompletedPaths returns the completed requests of the capture, sorted
+// by ascending latency (ties by seq, which Export already ordered by).
+func CompletedPaths(p *Profile) []path.Req {
+	if p.Paths == nil {
+		return nil
+	}
+	var out []path.Req
+	for _, r := range p.Paths.Reqs {
+		if r.Done >= 0 {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Latency() < out[j].Latency() })
+	return out
+}
+
+// PathMismatch is one request whose bucket decomposition does not sum
+// to its measured latency — by construction there should never be one.
+type PathMismatch struct {
+	Seq     int32
+	Latency int64
+	Sum     int64
+}
+
+// PathMismatches verifies the exactness invariant over every completed
+// request and returns the violations (empty on a healthy capture).
+func PathMismatches(p *Profile) []PathMismatch {
+	var out []PathMismatch
+	if p.Paths == nil {
+		return out
+	}
+	for _, r := range p.Paths.Reqs {
+		if r.Done < 0 {
+			continue
+		}
+		var sum int64
+		for _, b := range r.Buckets {
+			sum += b
+		}
+		if sum != r.Latency() {
+			out = append(out, PathMismatch{Seq: r.Seq, Latency: r.Latency(), Sum: sum})
+		}
+	}
+	return out
+}
+
+// PathBucketRow is one bucket's aggregate share over a request set.
+type PathBucketRow struct {
+	Bucket string
+	// Total is the summed virtual time attributed to this bucket.
+	Total int64
+	// Share is Total over the set's summed latency (0 when none).
+	Share float64
+	// Max is the largest single-request attribution.
+	Max int64
+	// Reqs counts requests with a non-zero attribution.
+	Reqs int
+}
+
+// aggBuckets folds a request set into per-bucket rows (bucket order).
+func aggBuckets(reqs []path.Req) []PathBucketRow {
+	rows := make([]PathBucketRow, path.NumBuckets)
+	var latSum int64
+	for b := range rows {
+		rows[b].Bucket = path.Bucket(b).String()
+	}
+	for _, r := range reqs {
+		latSum += r.Latency()
+		for b, v := range r.Buckets {
+			if v == 0 {
+				continue
+			}
+			rows[b].Total += v
+			rows[b].Reqs++
+			if v > rows[b].Max {
+				rows[b].Max = v
+			}
+		}
+	}
+	if latSum > 0 {
+		for b := range rows {
+			rows[b].Share = float64(rows[b].Total) / float64(latSum)
+		}
+	}
+	return rows
+}
+
+// PathBuckets aggregates the full completed-request set into the
+// latency-decomposition table, one row per bucket in bucket order.
+func PathBuckets(p *Profile) []PathBucketRow {
+	return aggBuckets(CompletedPaths(p))
+}
+
+// DominantBucket names the bucket with the largest total over rows
+// ("" when nothing was attributed).
+func DominantBucket(rows []PathBucketRow) string {
+	best, total := "", int64(0)
+	for _, r := range rows {
+		if r.Total > total {
+			best, total = r.Bucket, r.Total
+		}
+	}
+	return best
+}
+
+// TailBand is one latency percentile band of the completed requests,
+// with its own bucket decomposition and the slowest request as
+// exemplar.
+type TailBand struct {
+	// Band is the percentile range label ("p90–p99").
+	Band string
+	// Count is the number of requests in the band.
+	Count int
+	// MinNS/MaxNS bound the band's latencies; MeanNS is their average.
+	MinNS, MaxNS, MeanNS int64
+	// Buckets is the band's aggregated decomposition.
+	Buckets []PathBucketRow
+	// Dominant names the band's largest bucket.
+	Dominant string
+	// Exemplar is the band's slowest request.
+	Exemplar path.Req
+}
+
+// tailCuts are the band boundaries as per-mille of the sorted request
+// list: p0–p50, p50–p90, p90–p99, p99–p100.
+var tailCuts = []struct {
+	label string
+	lo    int // per-mille
+}{
+	{"p0–p50", 0},
+	{"p50–p90", 500},
+	{"p90–p99", 900},
+	{"p99–p100", 990},
+}
+
+// Tail splits the completed requests into latency percentile bands and
+// decomposes each band. Bands with no requests are omitted.
+func Tail(p *Profile) []TailBand {
+	reqs := CompletedPaths(p)
+	n := len(reqs)
+	if n == 0 {
+		return nil
+	}
+	var out []TailBand
+	for i, cut := range tailCuts {
+		lo := n * cut.lo / 1000
+		hi := n
+		if i+1 < len(tailCuts) {
+			hi = n * tailCuts[i+1].lo / 1000
+		}
+		if hi <= lo {
+			continue
+		}
+		band := reqs[lo:hi]
+		tb := TailBand{
+			Band:     cut.label,
+			Count:    len(band),
+			MinNS:    band[0].Latency(),
+			MaxNS:    band[len(band)-1].Latency(),
+			Buckets:  aggBuckets(band),
+			Exemplar: band[len(band)-1],
+		}
+		var sum int64
+		for _, r := range band {
+			sum += r.Latency()
+		}
+		tb.MeanNS = sum / int64(len(band))
+		tb.Dominant = DominantBucket(tb.Buckets)
+		out = append(out, tb)
+	}
+	return out
+}
+
+// RenderPaths writes the `cafprof paths` view: the aggregated bucket
+// table over all completed requests, then a waterfall of the slowest
+// `slowest` requests (their decomposition and span tree).
+func RenderPaths(w io.Writer, p *Profile, slowest int) error {
+	if p.Paths == nil {
+		return fmt.Errorf("profile has no path capture (run with path tracing enabled)")
+	}
+	reqs := CompletedPaths(p)
+	fmt.Fprintf(w, "paths: %d requests captured, %d completed\n", len(p.Paths.Reqs), len(reqs))
+	if len(reqs) == 0 {
+		return nil
+	}
+	if mm := PathMismatches(p); len(mm) > 0 {
+		fmt.Fprintf(w, "WARNING: %d requests violate the exactness invariant (first: seq %d sum %d ≠ latency %d)\n",
+			len(mm), mm[0].Seq, mm[0].Sum, mm[0].Latency)
+	}
+
+	fmt.Fprintf(w, "\n== latency decomposition (all completed requests) ==\n")
+	renderBucketTable(w, PathBuckets(p))
+
+	if slowest <= 0 {
+		slowest = 3
+	}
+	if slowest > len(reqs) {
+		slowest = len(reqs)
+	}
+	for i := 0; i < slowest; i++ {
+		r := reqs[len(reqs)-1-i]
+		fmt.Fprintf(w, "\n== waterfall: request %d (client %d, latency %s", r.Seq, r.Client, fmtDur(sim.Time(r.Latency())))
+		if r.Replays > 0 {
+			fmt.Fprintf(w, ", %d replays", r.Replays)
+		}
+		fmt.Fprintf(w, ") ==\n")
+		renderWaterfall(w, r)
+	}
+	return nil
+}
+
+// RenderTail writes the `cafprof tail` view: per-band decomposition
+// with the dominant bucket named and each band's slowest request
+// decomposed as exemplar.
+func RenderTail(w io.Writer, p *Profile) error {
+	if p.Paths == nil {
+		return fmt.Errorf("profile has no path capture (run with path tracing enabled)")
+	}
+	bands := Tail(p)
+	if len(bands) == 0 {
+		fmt.Fprintf(w, "tail: no completed requests captured\n")
+		return nil
+	}
+	fmt.Fprintf(w, "tail: latency attribution by percentile band\n\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "band\treqs\tmin\tmean\tmax\tdominant bucket\tshare\n")
+	for _, b := range bands {
+		var share float64
+		for _, row := range b.Buckets {
+			if row.Bucket == b.Dominant {
+				share = row.Share
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%.1f%%\n",
+			b.Band, b.Count,
+			fmtDur(sim.Time(b.MinNS)), fmtDur(sim.Time(b.MeanNS)), fmtDur(sim.Time(b.MaxNS)),
+			b.Dominant, 100*share)
+	}
+	tw.Flush()
+	for _, b := range bands {
+		fmt.Fprintf(w, "\n== %s (%d reqs, dominant: %s) ==\n", b.Band, b.Count, b.Dominant)
+		renderBucketTable(w, b.Buckets)
+		r := b.Exemplar
+		fmt.Fprintf(w, "exemplar: request %d (client %d, latency %s)\n",
+			r.Seq, r.Client, fmtDur(sim.Time(r.Latency())))
+		renderReqBuckets(w, r)
+	}
+	return nil
+}
+
+// renderBucketTable prints non-zero bucket rows of an aggregate.
+func renderBucketTable(w io.Writer, rows []PathBucketRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "bucket\ttotal\tshare\tmax\treqs\n")
+	for _, r := range rows {
+		if r.Total == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%s\t%d\n",
+			r.Bucket, fmtDur(sim.Time(r.Total)), 100*r.Share, fmtDur(sim.Time(r.Max)), r.Reqs)
+	}
+	tw.Flush()
+}
+
+// renderReqBuckets prints one request's non-zero buckets on one line.
+func renderReqBuckets(w io.Writer, r path.Req) {
+	var parts []string
+	for b, v := range r.Buckets {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s %s", path.Bucket(b), fmtDur(sim.Time(v))))
+		}
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Join(parts, " | "))
+}
+
+// renderWaterfall prints one request's decomposition and its span tree
+// with per-level stamps relative to the scheduled arrival.
+func renderWaterfall(w io.Writer, r path.Req) {
+	renderReqBuckets(w, r)
+	if len(r.Spans) == 0 {
+		return
+	}
+	children := map[int32][]path.Span{}
+	for _, sp := range r.Spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "span\tkind\timg\tpeer\tinit\tlocal-data\tlocal-op\tglobal\n")
+	var walk func(parent int32, depth int)
+	walk = func(parent int32, depth int) {
+		for _, sp := range children[parent] {
+			stamps := make([]string, len(sp.T))
+			for i, t := range sp.T {
+				if t < 0 {
+					stamps[i] = "-"
+				} else {
+					stamps[i] = "+" + fmtDur(sim.Time(t-r.Scheduled))
+				}
+			}
+			peer := "-"
+			if sp.Peer >= 0 {
+				peer = fmt.Sprintf("%d", sp.Peer)
+			}
+			fmt.Fprintf(tw, "%s#%d\t%s\t%d\t%s\t%s\n",
+				strings.Repeat("· ", depth), sp.ID, sp.Kind, sp.Img, peer,
+				strings.Join(stamps, "\t"))
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	tw.Flush()
+}

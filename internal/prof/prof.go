@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"caf2go/internal/metrics"
+	"caf2go/internal/path"
 	"caf2go/internal/sim"
 	"caf2go/internal/trace"
 )
@@ -38,6 +39,9 @@ type Profile struct {
 	Dropped map[string]int `json:",omitempty"`
 	// Metrics is the registry snapshot (nil when metrics were disabled).
 	Metrics *metrics.Snapshot `json:",omitempty"`
+	// Paths is the request-scoped critical-path capture (nil when path
+	// tracing was disabled).
+	Paths *path.Export `json:",omitempty"`
 }
 
 // Write serializes p as indented JSON (the cafprof interchange format).
@@ -53,6 +57,13 @@ func Read(r io.Reader) (*Profile, error) {
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("prof: malformed profile: %w", err)
+	}
+	// json.Decode happily accepts "null", "{}", or a truncated-but-valid
+	// prefix document, yielding a zero Profile that every analysis would
+	// render as an empty report. A real profile always records a positive
+	// image count, so reject anything else loudly.
+	if p.Images <= 0 {
+		return nil, fmt.Errorf("prof: malformed profile: image count %d (empty or truncated document?)", p.Images)
 	}
 	return &p, nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"caf2go/internal/fabric"
 	"caf2go/internal/failure"
+	"caf2go/internal/path"
 	"caf2go/internal/sim"
 )
 
@@ -202,6 +203,9 @@ type SendOpts struct {
 	// detector is attached — without one, legacy behavior (silence on
 	// loss) is preserved bit-for-bit.
 	OnAbandoned func()
+	// Path tags the message with the traced request whose causal path
+	// it rides (see fabric.Msg.Path). Zero = untagged.
+	Path path.Tag
 }
 
 // Send delivers payload to handler tag on image dst.
@@ -249,6 +253,7 @@ func (img *ImageKernel) sendEnv(dst int, tag uint16, e *env, opts SendOpts) {
 		Class:   opts.Class,
 		Bytes:   opts.Bytes,
 		Payload: e,
+		Path:    opts.Path,
 	}, fabric.SendOpts{
 		OnInjected:  opts.OnInjected,
 		OnDelivered: onDelivered,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"caf2go/internal/fabric"
+	"caf2go/internal/path"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/trace"
@@ -38,6 +39,9 @@ func (img *Image) Lock(rank, id int) {
 		Class: fabric.AMShort,
 		Bytes: 16,
 	})
+	// The whole grant round trip — wire both ways plus queueing behind
+	// other holders — is lock wait on the traced request's path.
+	img.m.path.Claim(img.pctx, path.LockWait, img.Now())
 	// The grant round-trip is the whole operation: stamping before
 	// endBlock lets the park self-attribute to this lock acquisition.
 	img.opStage(opID, trace.StageLocalData)

@@ -1,6 +1,7 @@
 package caf
 
 import (
+	"caf2go/internal/path"
 	"caf2go/internal/trace"
 )
 
@@ -86,6 +87,13 @@ type Op struct {
 	// continuation machinery is independent of it and fires either way.
 	id int64
 
+	// pctx/span tie the op to the traced request it serves (zero when
+	// path tracing is off or no request context was active): span is
+	// the op's node on the request's causal DAG, pctx the context a
+	// continuation firing restores around its callback.
+	pctx path.Ctx
+	span int32
+
 	done [numLevels]bool
 	cbs  [numLevels][]func()
 }
@@ -145,6 +153,12 @@ func (o *Op) Then(fn func()) *Op {
 	m := o.m
 	d := &Op{m: m, kind: "then", img: o.img,
 		id: m.life.OpNew("then", o.img, -1, m.eng.Now())}
+	if m.path != nil && o.pctx.Active() {
+		// The chained step inherits the parent op's request context and
+		// parents its span to the parent op's span.
+		d.pctx = path.Ctx{Req: o.pctx.Req, Span: o.span}
+		d.span = m.path.SpanNew(d.pctx, "then", o.img, -1, m.eng.Now())
+	}
 	o.OnGlobalCompletion(func() {
 		m.life.OpStage(d.id, d.img, trace.StageInit, m.eng.Now())
 		fn()
@@ -192,5 +206,8 @@ func (m *Machine) opAdvance(o *Op, rank int, stage trace.Stage) {
 	}
 	m.eng.AssertStrand("op stage advance")
 	m.life.OpStage(o.id, rank, stage, m.eng.Now())
+	if o.span != 0 {
+		m.path.SpanStage(o.span, int(stage), m.eng.Now())
+	}
 	o.reach(stage)
 }

@@ -2,6 +2,7 @@ package caf
 
 import (
 	"caf2go/internal/failure"
+	"caf2go/internal/path"
 )
 
 // PollSet multiplexes the completions of many outstanding asynchronous
@@ -48,6 +49,19 @@ func (ps *PollSet) enqueue(fn func()) {
 func (ps *PollSet) register(o *Op, l CompletionLevel, fn func()) {
 	if fn == nil {
 		fn = func() {}
+	}
+	if ps.img.m.path != nil && o.pctx.Active() {
+		// A poll-set handler continues the traced request whose op
+		// released it: restore that request's context (parented to the
+		// op's span) around the handler body, so operations it initiates
+		// stay on the request's causal DAG.
+		inner := fn
+		c := path.Ctx{Req: o.pctx.Req, Span: o.span}
+		fn = func() {
+			prev := ps.img.PathScope(c)
+			inner()
+			ps.img.pctx = prev
+		}
 	}
 	ps.pending++
 	o.on(l, func() { ps.enqueue(fn) })

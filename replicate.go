@@ -142,7 +142,7 @@ func (rc *ReplCoarray[T]) Apply(img *Image, home, seq, slot int, fn func(T) T) T
 			img.Spawn(b, func(s *Image) {
 				rc.mirr.Local(s)[slot] = v
 				rc.appliedB[home][seq] = v
-			}, WithBytes(rc.prim.ElemBytes()+mirrorOverheadBytes))
+			}, WithBytes(rc.prim.ElemBytes()+mirrorOverheadBytes), withMirrorPath())
 		}
 		return v
 	}

@@ -4,6 +4,7 @@ import (
 	"caf2go/internal/core"
 	"caf2go/internal/fabric"
 	"caf2go/internal/failure"
+	"caf2go/internal/path"
 	"caf2go/internal/race"
 	"caf2go/internal/rt"
 	"caf2go/internal/sim"
@@ -21,9 +22,10 @@ type SpawnFn func(img *Image)
 type SpawnOpt func(*spawnOpts)
 
 type spawnOpts struct {
-	event *Event
-	bytes int
-	data  []byte
+	event  *Event
+	bytes  int
+	data   []byte
+	mirror bool
 }
 
 // WithEvent makes the spawn explicitly completed: e is notified when the
@@ -36,6 +38,12 @@ func WithEvent(e *Event) SpawnOpt { return func(o *spawnOpts) { o.event = e } }
 // WithBytes sets the modeled argument payload size without shipping real
 // data (default 32 bytes of header).
 func WithBytes(n int) SpawnOpt { return func(o *spawnOpts) { o.bytes = n } }
+
+// withMirrorPath marks the spawn as a replication mirror write for path
+// tracing: its fabric legs claim the ReplMirror bucket instead of Wire,
+// so a traced request's decomposition separates replication cost from
+// ordinary network time.
+func withMirrorPath() SpawnOpt { return func(o *spawnOpts) { o.mirror = true } }
 
 // WithPayload ships a copied byte payload to the target; the shipped
 // function retrieves it with Payload. The slice is copied at initiation,
@@ -56,6 +64,7 @@ type spawnMsg struct {
 	data     []byte
 	op       *Op        // completion handle
 	rclk     race.Clock // spawner's clock at initiation (fork edge)
+	pctx     path.Ctx   // traced request context the shipped fn runs under
 }
 
 // payloadKey carries the spawn payload to the shipped function's Image.
@@ -97,6 +106,15 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) *Op {
 	// program point (snapshotted before any relaxed-mode deferral).
 	msg := &spawnMsg{finishID: img.trackID(), event: o.event, data: nil, rclk: img.raceRelease()}
 	msg.op = img.opNew("spawn", target)
+	if msg.op.pctx.Active() {
+		// The shipped function continues the traced request's causal
+		// path: it runs under the spawn op's span as its parent.
+		msg.pctx = path.Ctx{Req: msg.op.pctx.Req, Span: msg.op.span}
+	}
+	ptag := path.WireTag(msg.pctx)
+	if o.mirror {
+		ptag = path.MirrorTag(msg.pctx)
+	}
 	implicit := o.event == nil
 
 	var track any
@@ -120,6 +138,7 @@ func (img *Image) Spawn(target int, fn SpawnFn, opts ...SpawnOpt) *Op {
 			Track: track,
 			Class: class,
 			Bytes: o.bytes,
+			Path:  ptag,
 			OnDelivered: func() {
 				m.opStageAt(msg.op, me, trace.StageLocalOp)
 				tok.complete()
@@ -163,7 +182,8 @@ func (m *Machine) handleSpawn(d *rt.Delivery) {
 		// Perfetto track instead of interleaving with the main's.
 		st.nextTid++
 		img := &Image{m: m, st: st, proc: p, tid: st.nextTid,
-			inheritedFinish: msg.finishID, ct: m.newTracker()}
+			inheritedFinish: msg.finishID, ct: m.newTracker(),
+			pctx: msg.pctx}
 		if m.det != nil {
 			// A shipped function aborted by a failure declaration still
 			// completes its delivery: the enclosing finish's received ==
